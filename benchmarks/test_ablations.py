@@ -1,0 +1,51 @@
+"""Bench: the ablations for design choices the paper discusses in prose.
+
+* Index formation (Section 3.1): XOR beats concatenation; global-CIR
+  indexing is of little value alone and does not help when added.
+* Resetting counter width (Section 5.2): larger counters give finer
+  granularity with diminishing returns.
+* Context-switch policy (Section 5.4): the "keep values, set oldest bit"
+  conjecture performs as well as a full re-initialization.
+"""
+
+from repro.experiments import (
+    ablation_context_switch,
+    ablation_counter_width,
+    ablation_indexing,
+)
+
+
+def test_ablation_indexing(run_once):
+    result = run_once(ablation_indexing.run)
+    print()
+    print(result.format())
+
+    assert result.xor_beats_concat
+    assert result.gcir_alone_is_poor
+    assert result.gcir_does_not_help
+
+
+def test_ablation_counter_width(run_once):
+    result = run_once(ablation_counter_width.run)
+    print()
+    print(result.format())
+
+    assert result.diminishing_returns
+    # Wider counters never hurt at the headline point...
+    assert result.at_headline[16] >= result.at_headline[2] - 1.0
+    # ...and strictly shrink the saturated (non-partitionable) bucket.
+    branch_shares = [
+        result.saturated_bucket[width][0] for width in sorted(result.curves)
+    ]
+    assert branch_shares == sorted(branch_shares, reverse=True)
+
+
+def test_ablation_context_switch(run_once):
+    result = run_once(ablation_context_switch.run)
+    print()
+    print(result.format())
+
+    assert result.conjecture_holds
+    # Keeping state can only help relative to a destructive flush when the
+    # oldest-bit trick is applied (paper Section 5.4's expectation).
+    assert result.at_headline["keep_lastbit"] >= result.at_headline["reinit"] - 1.0

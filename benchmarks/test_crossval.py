@@ -1,0 +1,29 @@
+"""Bench: leave-one-out generalization of the profile-designed reduction.
+
+The quantitative case for the paper's §5 move to structural reductions:
+minterm logic tuned on other programs' CIR statistics transfers poorly,
+while the benchmark-independent resetting-counter reduction stays close
+to each benchmark's self-tuned ideal.
+"""
+
+from repro.experiments import extension_crossval
+
+
+def test_extension_crossval(run_once):
+    result = run_once(extension_crossval.run)
+    print()
+    print(result.format())
+
+    # The overfit gap is real...
+    assert result.mean_gap > 5.0
+    # ...and the structural reduction closes most of it, on average and
+    # benchmark by benchmark.
+    assert result.structural_beats_transferred
+    wins = sum(
+        result.resetting[name] >= result.cross_validated[name]
+        for name in result.resetting
+    )
+    assert wins >= len(result.resetting) - 1
+    # Structural stays within striking distance of self-tuned everywhere.
+    for name in result.self_tuned:
+        assert result.resetting[name] >= result.self_tuned[name] - 15.0

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 11 (CT initialization).
+
+Paper: all-ones, random, and lastbit initializations perform similarly;
+all-zeros "does not perform nearly as well" because startup
+mispredictions land in the zero bucket.
+"""
+
+from repro.experiments import fig11_initialization
+
+
+def test_fig11_initialization(run_once):
+    result = run_once(fig11_initialization.run)
+    print()
+    print(result.format())
+
+    at = result.at_headline
+    # Zeros is the worst policy.
+    assert result.zero_is_worst
+    assert at["one"] > at["zero"] + 3.0
+    # The non-zero policies are mutually similar (paper: "essentially the
+    # same" / "does not seem to make much difference").
+    non_zero = [at["one"], at["random"], at["lastbit"]]
+    assert max(non_zero) - min(non_zero) <= 8.0

@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 5 (one-level dynamic confidence).
+
+Paper anchors at 20 % of dynamic branches: PCxorBHR 89 %, BHR 85 %,
+PC 72 %, static ~63 %; zero bucket ~80 % of branches / 12-15 % of
+mispredictions.
+"""
+
+from repro.experiments import fig5_one_level
+
+
+def test_fig5_one_level(run_once):
+    result = run_once(fig5_one_level.run)
+    print()
+    print(result.format())
+
+    at = result.at_headline
+    static_at = result.static_curve.mispredictions_captured_at(
+        result.headline_percent
+    )
+    # Who wins: PCxorBHR > BHR > PC, and every dynamic method beats static.
+    assert at["BHRxorPC"] > at["BHR"] > at["PC"]
+    assert at["BHRxorPC"] > static_at
+    # The zero bucket dominates branch count but holds few mispredictions.
+    assert result.zero_bucket_branch_percent > 40.0
+    assert 5.0 <= result.zero_bucket_misprediction_percent <= 25.0

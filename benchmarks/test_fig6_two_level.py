@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 6 (two-level dynamic confidence).
+
+Paper: BHRxorPC-CIR is the best two-level variant overall; the
+BHRxorPC-(CIRxorPCxorBHR) variant is generally second;
+PC-CIR trails except in a small region.
+"""
+
+from repro.experiments import fig6_two_level
+
+
+def test_fig6_two_level(run_once):
+    result = run_once(fig6_two_level.run)
+    print()
+    print(result.format())
+
+    at = result.at_headline
+    # The paper's best two-level variant wins at the headline point.
+    assert at["BHRxorPC-CIR"] >= at["PC-CIR"]
+    assert at["BHRxorPC-CIR"] >= at["BHRxorPC-BHRxorCIRxorPC"] - 1.0
+    for value in at.values():
+        assert 0.0 < value <= 100.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 7 (best one-level vs best two-level vs static).
+
+Paper conclusion: "the one and two level methods give very similar
+performance.  If anything, the two level method performs very slightly
+worse ... the extra hardware in the second level table is not worth the
+cost."
+"""
+
+from repro.experiments import fig7_comparison
+
+
+def test_fig7_comparison(run_once):
+    result = run_once(fig7_comparison.run)
+    print()
+    print(result.format())
+
+    # The paper's conclusion: one-level >= two-level (within noise), and
+    # both dynamic methods clearly beat the static method.
+    assert result.one_level_wins
+    assert result.one_level_at_headline > result.static_at_headline + 5.0
+    assert result.two_level_at_headline > result.static_at_headline

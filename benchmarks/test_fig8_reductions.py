@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 8 (reduction functions).
+
+Paper: resetting counters track the ideal curve closely and share its
+zero bucket; saturating counters match ones-counting early but their
+maximum-count bucket bloats with mispredictions, capping the reachable
+partition around 60 % of mispredictions; ones counting falls short of
+ideal because it weighs old and recent mispredictions equally.
+"""
+
+from repro.experiments import fig8_reductions
+
+
+def test_fig8_reductions(run_once):
+    result = run_once(fig8_reductions.run)
+    print()
+    print(result.format())
+
+    at = result.at_headline
+    top = result.top_bucket_misprediction_percent
+    ideal = at["BHRxorPC (ideal)"]
+
+    # Ideal dominates all practical reductions of the same table.
+    for label, value in at.items():
+        assert value <= ideal + 1e-6, label
+    # Resetting is the best practical reduction at the headline point.
+    assert at["BHRxorPC.Reset"] >= at["BHRxorPC.1Cnt"] - 1.0
+    assert at["BHRxorPC.Reset"] >= at["BHRxorPC.Sat"] - 1.0
+    # Saturating counters' most-confident bucket bloats with mispredictions
+    # relative to the resetting counters' zero bucket.
+    assert top["BHRxorPC.Sat"] > top["BHRxorPC.Reset"]
+    # Resetting counters share the ideal zero bucket exactly.
+    assert abs(top["BHRxorPC.Reset"] - top["BHRxorPC (ideal)"]) < 1e-6

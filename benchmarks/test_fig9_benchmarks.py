@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 9 (per-benchmark variation).
+
+Paper: "considerable variation" between benchmarks under the best
+one-level method with ideal reduction; jpeg is the best performer and
+gcc the worst.
+"""
+
+from repro.experiments import fig9_benchmarks
+
+
+def test_fig9_benchmarks(run_once):
+    result = run_once(fig9_benchmarks.run)
+    print()
+    print(result.format())
+
+    # Who wins / who loses matches the paper.
+    assert result.best_benchmark == "jpeg_play"
+    assert result.worst_benchmark == "gcc"
+    # "Considerable variation": a real spread between best and worst.
+    spread = (
+        result.at_headline[result.best_benchmark]
+        - result.at_headline[result.worst_benchmark]
+    )
+    assert spread >= 5.0
+    assert len(result.curves) == 8

@@ -1,0 +1,31 @@
+"""Bench: the applications on the pipeline timing model.
+
+Dual-path forking must improve IPC suite-wide — with the largest gains on
+the worst-predicted benchmarks (gcc, sdet), the population the paper's
+application 1 targets.  SMT confidence gating must cut wasted fetch slots
+while staying within a small throughput band of the ungated arbiter.
+"""
+
+from repro.experiments import extension_pipeline
+
+
+def test_extension_pipeline(run_once):
+    result = run_once(extension_pipeline.run)
+    print()
+    print(result.format())
+
+    # Dual-path wins on every benchmark and on average.
+    assert result.mean_dual_path_speedup > 1.0
+    for name, (baseline, forked) in result.dual_path_ipc.items():
+        assert forked > baseline * 0.99, name
+    # The worst-predicted benchmark gains the most (it has the most
+    # mispredictions to cover).
+    gains = {
+        name: forked / baseline
+        for name, (baseline, forked) in result.dual_path_ipc.items()
+    }
+    assert gains["gcc"] == max(gains.values())
+
+    # SMT gating: big waste reduction, bounded throughput cost.
+    assert result.smt_gated_waste < result.smt_ungated_waste
+    assert result.smt_gating_gain > -0.05

@@ -1,0 +1,24 @@
+"""Bench: suite and seed robustness of the headline conclusions.
+
+The Fig. 5 ordering (PCxorBHR > BHR > PC > static) must hold on both the
+IBS-style and SPEC-like suites, and the headline capture must be stable
+across workload generation seeds.
+"""
+
+from repro.experiments import ablation_suite_seed
+
+
+def test_ablation_suite_seed(run_once):
+    result = run_once(ablation_suite_seed.run)
+    print()
+    print(result.format())
+
+    assert result.ibs.ordering_holds
+    assert result.spec_like.ordering_holds
+    # SPEC-like programs are easier for the predictor (the paper's reason
+    # for preferring IBS: SPEC under-represents hard branches).
+    assert result.spec_like.misprediction_rate <= result.ibs.misprediction_rate
+    # Seed stability: the headline number is a property of the workload
+    # model, not of one random draw.
+    assert result.seed_spread < 5.0
+    assert result.conclusions_robust

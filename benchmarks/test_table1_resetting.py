@@ -1,0 +1,35 @@
+"""Bench: regenerate Table 1 (resetting counter statistics).
+
+Paper anchors: count 0 isolates 41.7 % of mispredictions in 4.28 % of
+branches; counts 0..1 give 57.9 % in 6.85 %; counts 0..15 give 89.3 % in
+20.3 %; per-count misprediction rate decreases monotonically from .376
+down to .037, with the saturated count at .005.
+"""
+
+from repro.experiments import table1_resetting
+
+
+def test_table1_resetting(run_once):
+    result = run_once(table1_resetting.run)
+    print()
+    print(result.format())
+
+    table = result.table
+    rates = [row.misprediction_rate for row in table.rows]
+
+    # Count 0 is the least-confident bucket by a wide margin, and the
+    # saturated bucket the most confident.
+    assert rates[0] == max(rates)
+    assert rates[0] > 0.15
+    assert rates[16] == min(rates)
+    # Counter values order confidence near-monotonically: allow small local
+    # wobble but require the big picture (0 >> 5 >> 16).
+    assert rates[0] > rates[5] > rates[16]
+
+    # The low-confidence split at counts 0..15 captures most mispredictions.
+    refs, mispredicts = table.low_confidence_split(15)
+    assert mispredicts >= 75.0
+    assert refs <= 55.0
+    # Cumulative columns are complete.
+    assert abs(table.rows[-1].cumulative_percent_refs - 100.0) < 1e-6
+    assert abs(table.rows[-1].cumulative_percent_mispredicts - 100.0) < 1e-6

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The branch prediction reverser, and why Table 1 says it won't fire.
+
+The paper's application 4 proposes reversing predictions whose
+confidence is below 50 % accuracy.  Table 1 shows the catch: even the
+least-confident resetting-counter bucket (count 0) mispredicts only
+~38 % of the time — never past the 50 % break-even — so a
+counter-based reverser never fires.  Raw CIR patterns are finer-grained:
+a handful of individual patterns do cross 50 %, and reversing just those
+eked out a small win.
+
+This example reproduces that story with an honest train/test split, and
+shows the per-bucket rates that drive it.
+
+Run:  python examples/reverser_study.py
+"""
+
+from repro.analysis.weighting import equal_weight_combine
+from repro.apps import evaluate_reverser
+from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.runner import resetting_counter_statistics
+
+
+def main() -> None:
+    config = DEFAULT_CONFIG.scaled(trace_length=80_000)
+
+    print("resetting counter bucket rates (the reverser's decision input):")
+    combined = equal_weight_combine(resetting_counter_statistics(config))
+    for count in range(combined.num_buckets):
+        rate = combined.bucket_rate(count)
+        marker = "  <-- would reverse" if rate > 0.5 else ""
+        print(f"  count {count:2d}: misprediction rate {rate:.3f}{marker}")
+
+    print()
+    report = evaluate_reverser(config)
+    print(report.format())
+    print()
+    print(
+        "conclusion: matching the paper's Table 1, the counter buckets never "
+        "cross 50%, so\nthe practical (counter-based) reverser is inert; only "
+        "raw-pattern reversal can fire."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+Enables ``pip install -e .`` in offline environments that lack the
+``wheel`` package (pip falls back to ``setup.py develop``); all project
+metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

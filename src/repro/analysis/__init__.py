@@ -1,0 +1,40 @@
+"""Analysis of confidence-estimator bucket statistics.
+
+The paper's central artifact is the *confidence curve*: buckets sorted by
+misprediction rate (highest first), plotted as cumulative % of
+mispredictions (y) versus cumulative % of dynamic branches (x).  This
+package builds those curves from simulation bucket statistics, combines
+benchmarks with the paper's equal-branch-count weighting, generates
+Table 1, computes the follow-on literature's confidence quality metrics,
+and renders ASCII plots / CSV exports.
+"""
+
+from repro.analysis.buckets import BucketStatistics
+from repro.analysis.curves import ConfidenceCurve, CurvePoint
+from repro.analysis.weighting import concat_normalized, equal_weight_combine
+from repro.analysis.table1 import Table1, Table1Row, build_table1
+from repro.analysis.compare import CurveDelta, crossovers, dominates, sample_delta
+from repro.analysis.metrics import ConfusionCounts, confidence_metrics
+from repro.analysis.plotting import ascii_curve_plot, format_curve_table
+from repro.analysis.export import curves_to_csv, table_to_csv
+
+__all__ = [
+    "BucketStatistics",
+    "ConfidenceCurve",
+    "CurvePoint",
+    "equal_weight_combine",
+    "concat_normalized",
+    "Table1",
+    "Table1Row",
+    "build_table1",
+    "ConfusionCounts",
+    "confidence_metrics",
+    "CurveDelta",
+    "sample_delta",
+    "dominates",
+    "crossovers",
+    "ascii_curve_plot",
+    "format_curve_table",
+    "curves_to_csv",
+    "table_to_csv",
+]

@@ -1,0 +1,144 @@
+"""Per-bucket execution/misprediction statistics.
+
+``BucketStatistics`` is the common currency between the simulation
+engines and the curve/table builders: an array of execution counts and an
+array of misprediction counts, indexed by bucket value.  Counts are kept
+as float64 so benchmark-weighted (fractional) statistics compose with raw
+integer ones through the same arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.engine import EstimatorRun
+
+
+@dataclass(frozen=True)
+class BucketStatistics:
+    """Executions and mispredictions per bucket."""
+
+    counts: np.ndarray
+    mispredicts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts, dtype=np.float64)
+        mispredicts = np.asarray(self.mispredicts, dtype=np.float64)
+        if counts.shape != mispredicts.shape or counts.ndim != 1:
+            raise ValueError("counts and mispredicts must be equal-length 1-D arrays")
+        if (mispredicts > counts + 1e-9).any():
+            raise ValueError("bucket mispredictions cannot exceed executions")
+        if (counts < 0).any() or (mispredicts < 0).any():
+            raise ValueError("bucket statistics cannot be negative")
+        object.__setattr__(self, "counts", counts)
+        object.__setattr__(self, "mispredicts", mispredicts)
+
+    # ----- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_streams(
+        cls, buckets: np.ndarray, correct: np.ndarray, num_buckets: int
+    ) -> "BucketStatistics":
+        """Accumulate from per-branch bucket and correctness streams."""
+        buckets = np.asarray(buckets, dtype=np.int64)
+        incorrect = (np.asarray(correct) == 0).astype(np.float64)
+        if buckets.shape != incorrect.shape:
+            raise ValueError("buckets and correct streams must have equal length")
+        counts = np.bincount(buckets, minlength=num_buckets).astype(np.float64)
+        mispredicts = np.bincount(buckets, weights=incorrect, minlength=num_buckets)
+        if counts.shape[0] > num_buckets:
+            raise ValueError(
+                f"bucket value {int(buckets.max())} out of range for "
+                f"num_buckets={num_buckets}"
+            )
+        return cls(counts, mispredicts)
+
+    @classmethod
+    def from_run(cls, run: EstimatorRun) -> "BucketStatistics":
+        """Adopt the statistics collected by the reference engine."""
+        return cls(run.counts, run.mispredicts)
+
+    @classmethod
+    def zeros(cls, num_buckets: int) -> "BucketStatistics":
+        return cls(np.zeros(num_buckets), np.zeros(num_buckets))
+
+    # ----- aggregates -------------------------------------------------------
+
+    @property
+    def num_buckets(self) -> int:
+        return int(self.counts.shape[0])
+
+    @property
+    def total(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def total_mispredicts(self) -> float:
+        return float(self.mispredicts.sum())
+
+    @property
+    def misprediction_rate(self) -> float:
+        total = self.total
+        return self.total_mispredicts / total if total else 0.0
+
+    def bucket_rate(self, bucket: int) -> float:
+        """Misprediction rate within one bucket (0.0 when never hit)."""
+        count = self.counts[bucket]
+        return float(self.mispredicts[bucket] / count) if count else 0.0
+
+    def rates(self) -> np.ndarray:
+        """Per-bucket misprediction rates (0.0 for empty buckets)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rates = self.mispredicts / self.counts
+        return np.where(self.counts > 0, rates, 0.0)
+
+    # ----- algebra ----------------------------------------------------------
+
+    def __add__(self, other: "BucketStatistics") -> "BucketStatistics":
+        if self.num_buckets != other.num_buckets:
+            raise ValueError(
+                f"cannot merge statistics with {self.num_buckets} and "
+                f"{other.num_buckets} buckets"
+            )
+        return BucketStatistics(
+            self.counts + other.counts, self.mispredicts + other.mispredicts
+        )
+
+    def scaled(self, factor: float) -> "BucketStatistics":
+        """Multiply all counts by ``factor`` (for benchmark weighting)."""
+        if factor < 0:
+            raise ValueError(f"factor must be non-negative, got {factor}")
+        return BucketStatistics(self.counts * factor, self.mispredicts * factor)
+
+    def normalized(self) -> "BucketStatistics":
+        """Scale so total executions equal 1 (no-op on empty statistics)."""
+        total = self.total
+        if total == 0:
+            return self
+        return self.scaled(1.0 / total)
+
+    def regrouped(self, mapping: np.ndarray, num_buckets: Optional[int] = None) -> "BucketStatistics":
+        """Re-bucket through ``mapping`` (e.g. a reduction LUT).
+
+        ``mapping[b]`` is the new bucket of old bucket ``b``; statistics
+        of old buckets mapping to the same new bucket are summed.  This is
+        how a reduction function is applied *after* simulation: collecting
+        raw CIR pattern statistics once and regrouping them yields the
+        ones-count and resetting curves without re-simulating.
+        """
+        mapping = np.asarray(mapping, dtype=np.int64)
+        if mapping.shape[0] != self.num_buckets:
+            raise ValueError(
+                f"mapping covers {mapping.shape[0]} buckets, "
+                f"statistics have {self.num_buckets}"
+            )
+        if num_buckets is None:
+            num_buckets = int(mapping.max()) + 1 if mapping.size else 0
+        counts = np.bincount(mapping, weights=self.counts, minlength=num_buckets)
+        mispredicts = np.bincount(
+            mapping, weights=self.mispredicts, minlength=num_buckets
+        )
+        return BucketStatistics(counts, mispredicts)

@@ -1,0 +1,102 @@
+"""Curve comparison utilities.
+
+The paper compares methods by eye ("there is a region in the 5 to 10
+percent range where the third method is slightly better"); these helpers
+make such statements checkable: sampled deltas between two curves,
+dominance over an x-range, and crossover localization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.curves import ConfidenceCurve
+
+
+@dataclass(frozen=True)
+class CurveDelta:
+    """y(first) - y(second) sampled on a common x grid."""
+
+    xs: np.ndarray
+    deltas: np.ndarray
+    first_name: str
+    second_name: str
+
+    @property
+    def max_advantage(self) -> float:
+        """Largest margin by which the first curve leads."""
+        return float(self.deltas.max()) if self.deltas.size else 0.0
+
+    @property
+    def max_deficit(self) -> float:
+        """Largest margin by which the first curve trails (>= 0)."""
+        if self.deltas.size == 0:
+            return 0.0
+        return max(0.0, float(-self.deltas.min()))
+
+    @property
+    def mean_delta(self) -> float:
+        return float(self.deltas.mean()) if self.deltas.size else 0.0
+
+
+def sample_delta(
+    first: ConfidenceCurve,
+    second: ConfidenceCurve,
+    xs: Sequence[float] = tuple(range(1, 100)),
+) -> CurveDelta:
+    """Sample ``first - second`` at the given x positions (percent)."""
+    grid = np.asarray(list(xs), dtype=np.float64)
+    deltas = np.asarray(
+        [
+            first.mispredictions_captured_at(float(x))
+            - second.mispredictions_captured_at(float(x))
+            for x in grid
+        ]
+    )
+    return CurveDelta(grid, deltas, first.name, second.name)
+
+
+def dominates(
+    first: ConfidenceCurve,
+    second: ConfidenceCurve,
+    x_range: "tuple[float, float]" = (1.0, 99.0),
+    tolerance: float = 0.0,
+    samples: int = 99,
+) -> bool:
+    """True when ``first`` is at least as good as ``second`` everywhere in
+    ``x_range`` (within ``tolerance`` percentage points)."""
+    low, high = x_range
+    xs = np.linspace(low, high, samples)
+    delta = sample_delta(first, second, xs)
+    return bool((delta.deltas >= -tolerance).all())
+
+
+def crossovers(
+    first: ConfidenceCurve,
+    second: ConfidenceCurve,
+    x_range: "tuple[float, float]" = (1.0, 99.0),
+    samples: int = 197,
+    threshold: float = 1e-9,
+) -> List[float]:
+    """Approximate x positions where the two curves swap order.
+
+    Returns the midpoints of adjacent samples whose deltas have opposite
+    signs (ignoring |delta| <= threshold ties).
+    """
+    low, high = x_range
+    xs = np.linspace(low, high, samples)
+    delta = sample_delta(first, second, xs).deltas
+    signs = np.where(np.abs(delta) <= threshold, 0, np.sign(delta))
+    points: List[float] = []
+    previous_sign = 0
+    previous_x = xs[0]
+    for x, sign in zip(xs, signs):
+        if sign != 0:
+            if previous_sign != 0 and sign != previous_sign:
+                points.append(float((previous_x + x) / 2.0))
+            previous_sign = sign
+            previous_x = x
+    return points

@@ -1,0 +1,86 @@
+"""CSV export of curves and tables.
+
+Experiments can dump their data series for external plotting (gnuplot,
+matplotlib, spreadsheets) — the paper's figures are all reproducible from
+these files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Sequence, Union
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.table1 import Table1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def curves_to_csv(curves: Sequence[ConfidenceCurve], path: PathLike) -> None:
+    """Write curve points as long-form CSV (curve, x, y, bucket, rate)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["curve", "dynamic_percent", "misprediction_percent", "bucket", "bucket_rate"]
+        )
+        for curve in curves:
+            for point in curve.points:
+                writer.writerow(
+                    [
+                        curve.name,
+                        f"{point.dynamic_percent:.6f}",
+                        f"{point.misprediction_percent:.6f}",
+                        point.bucket,
+                        f"{point.bucket_rate:.6f}",
+                    ]
+                )
+
+
+def table_to_csv(table: Table1, path: PathLike) -> None:
+    """Write Table 1 rows as CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "count",
+                "misprediction_rate",
+                "percent_refs",
+                "percent_mispredicts",
+                "cumulative_percent_refs",
+                "cumulative_percent_mispredicts",
+            ]
+        )
+        for row in table.rows:
+            writer.writerow(
+                [
+                    row.count,
+                    f"{row.misprediction_rate:.6f}",
+                    f"{row.percent_refs:.6f}",
+                    f"{row.percent_mispredicts:.6f}",
+                    f"{row.cumulative_percent_refs:.6f}",
+                    f"{row.cumulative_percent_mispredicts:.6f}",
+                ]
+            )
+
+
+def curves_to_string(curves: Sequence[ConfidenceCurve]) -> str:
+    """Curve CSV as an in-memory string (for logging or tests)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["curve", "dynamic_percent", "misprediction_percent", "bucket", "bucket_rate"]
+    )
+    for curve in curves:
+        for point in curve.points:
+            writer.writerow(
+                [
+                    curve.name,
+                    f"{point.dynamic_percent:.6f}",
+                    f"{point.misprediction_percent:.6f}",
+                    point.bucket,
+                    f"{point.bucket_rate:.6f}",
+                ]
+            )
+    return buffer.getvalue()

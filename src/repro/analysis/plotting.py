@@ -1,0 +1,113 @@
+"""ASCII rendering of confidence curves.
+
+The experiments run headless; the CLI and examples render curves as
+terminal plots in the spirit of the paper's figures, plus tabular
+summaries at reference x-positions (the paper repeatedly quotes the 20 %
+point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.curves import ConfidenceCurve
+
+_MARKERS = "*o+x#@%&"
+
+
+def ascii_curve_plot(
+    curves: Sequence[ConfidenceCurve],
+    width: int = 64,
+    height: int = 20,
+    title: str = "",
+) -> str:
+    """Render curves on a ``width`` x ``height`` character grid.
+
+    X axis: % of dynamic branches (0-100); Y axis: % of mispredictions
+    (0-100).  Later curves overwrite earlier ones where they collide.
+    """
+    if not curves:
+        raise ValueError("need at least one curve to plot")
+    if width < 16 or height < 8:
+        raise ValueError("plot area too small (min 16x8)")
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x_percent: float, y_percent: float) -> "tuple[int, int]":
+        column = min(width - 1, int(round(x_percent / 100.0 * (width - 1))))
+        row = min(height - 1, int(round(y_percent / 100.0 * (height - 1))))
+        return height - 1 - row, column
+
+    for curve_index, curve in enumerate(curves):
+        marker = _MARKERS[curve_index % len(_MARKERS)]
+        # Sample the interpolated curve at every column for a continuous
+        # line, then overlay actual data points.
+        for column in range(width):
+            x_percent = 100.0 * column / (width - 1)
+            y_percent = curve.mispredictions_captured_at(x_percent)
+            row, col = cell(x_percent, y_percent)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+        for point in curve.sparsified().points:
+            row, col = cell(point.dynamic_percent, point.misprediction_percent)
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {curve.name or f'curve{i}'}"
+        for i, curve in enumerate(curves)
+    )
+    lines.append(legend)
+    lines.append("% mispredictions")
+    lines.append("100 +" + "-" * width + "+")
+    for row_index, row in enumerate(grid):
+        prefix = "    |"
+        if row_index == height - 1:
+            prefix = "  0 |"
+        lines.append(prefix + "".join(row) + "|")
+    lines.append("    +" + "-" * width + "+")
+    lines.append("    0" + " " * (width - 10) + "100")
+    lines.append("     % of dynamic branches")
+    return "\n".join(lines)
+
+
+def format_curve_table(
+    curves: Sequence[ConfidenceCurve],
+    x_positions: Sequence[float] = (5.0, 10.0, 20.0, 30.0, 50.0),
+) -> str:
+    """Tabulate interpolated curve values at reference x positions."""
+    header_cells = ["method".ljust(28)] + [f"@{x:g}%".rjust(8) for x in x_positions]
+    lines = ["".join(header_cells)]
+    for curve in curves:
+        cells = [(curve.name or "<curve>").ljust(28)]
+        for x_percent in x_positions:
+            cells.append(f"{curve.mispredictions_captured_at(x_percent):8.1f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_metric_summary(metrics_by_name: Dict[str, "object"]) -> str:
+    """Render SENS/SPEC/PVP/PVN rows per mechanism.
+
+    ``metrics_by_name`` maps a mechanism name to a
+    :class:`repro.analysis.metrics.ConfusionCounts`.
+    """
+    lines = [
+        "method".ljust(28)
+        + "lowfrac".rjust(9)
+        + "SENS".rjust(8)
+        + "SPEC".rjust(8)
+        + "PVP".rjust(8)
+        + "PVN".rjust(8)
+    ]
+    for name, counts in metrics_by_name.items():
+        lines.append(
+            name.ljust(28)
+            + f"{counts.low_fraction:9.3f}"
+            + f"{counts.sensitivity:8.3f}"
+            + f"{counts.specificity:8.3f}"
+            + f"{counts.predictive_value_positive:8.3f}"
+            + f"{counts.predictive_value_negative:8.3f}"
+        )
+    return "\n".join(lines)

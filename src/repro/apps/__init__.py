@@ -1,0 +1,33 @@
+"""Applications of branch-confidence signals (paper Section 1).
+
+The paper motivates confidence mechanisms with four applications and
+reports early results for dual-path forking in its conclusions.  This
+package provides working models of all four, built on the library's
+estimators and the synthetic suite:
+
+* :mod:`repro.apps.dual_path` — selective dual-path execution: fork the
+  non-predicted path on low confidence, trading fetch bandwidth for
+  misprediction-penalty elimination.
+* :mod:`repro.apps.smt_fetch` — SMT fetch gating: stall a thread's fetch
+  behind low-confidence branches to avoid wrong-path fetch waste.
+* :mod:`repro.apps.reverser` — branch prediction reverser: invert
+  predictions whose confidence bucket mispredicts >50 % of the time.
+* :mod:`repro.apps.hybrid_selector` — hybrid predictor selection by
+  comparing per-component confidence, versus a McFarling chooser.
+"""
+
+from repro.apps.dual_path import DualPathReport, evaluate_dual_path
+from repro.apps.hybrid_selector import HybridSelectorReport, evaluate_hybrid_selector
+from repro.apps.reverser import ReverserReport, evaluate_reverser
+from repro.apps.smt_fetch import SMTFetchReport, evaluate_smt_fetch
+
+__all__ = [
+    "evaluate_dual_path",
+    "DualPathReport",
+    "evaluate_smt_fetch",
+    "SMTFetchReport",
+    "evaluate_reverser",
+    "ReverserReport",
+    "evaluate_hybrid_selector",
+    "HybridSelectorReport",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Usage examples::
+
+    repro list                       # available experiments
+    repro run fig5                   # run one experiment, print its report
+    repro run fig5 --plot            # ... with an ASCII curve plot
+    repro run table1 --csv out.csv   # ... exporting the data series
+    repro suite                      # suite statistics (rates, sites)
+    repro apps dual-path             # run an application model
+    repro trace gcc --length 50000 --out gcc.npz   # dump a trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.config import DEFAULT_CONFIG
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Assigning Confidence to Conditional Branch "
+            "Predictions' (Jacobsen, Rotenberg & Smith, MICRO-29 1996)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run an experiment")
+    run_parser.add_argument("experiment", help="experiment id (see 'repro list')")
+    run_parser.add_argument(
+        "--length", type=int, default=None, help="dynamic branches per benchmark"
+    )
+    run_parser.add_argument("--seed", type=int, default=None, help="workload seed")
+    run_parser.add_argument(
+        "--benchmarks", nargs="+", default=None, help="subset of benchmarks"
+    )
+    run_parser.add_argument(
+        "--plot", action="store_true", help="render ASCII curve plot(s)"
+    )
+    run_parser.add_argument("--csv", default=None, help="export curves/table to CSV")
+    run_parser.add_argument(
+        "--json", default=None, help="export the full result record to JSON"
+    )
+
+    run_all_parser = subparsers.add_parser(
+        "run-all", help="run every registered experiment and print reports"
+    )
+    run_all_parser.add_argument("--length", type=int, default=None)
+    run_all_parser.add_argument("--seed", type=int, default=None)
+    run_all_parser.add_argument("--benchmarks", nargs="+", default=None)
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="show workload-suite statistics"
+    )
+    suite_parser.add_argument("--length", type=int, default=None)
+    suite_parser.add_argument("--seed", type=int, default=None)
+
+    apps_parser = subparsers.add_parser("apps", help="run an application model")
+    apps_parser.add_argument(
+        "application",
+        choices=["dual-path", "smt-fetch", "reverser", "hybrid-selector"],
+    )
+    apps_parser.add_argument("--length", type=int, default=None)
+    apps_parser.add_argument("--seed", type=int, default=None)
+    apps_parser.add_argument("--benchmarks", nargs="+", default=None)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate and save a benchmark trace"
+    )
+    trace_parser.add_argument("benchmark", help="benchmark name")
+    trace_parser.add_argument("--length", type=int, default=50_000)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--out", required=True, help="output .npz path")
+
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace):
+    config = DEFAULT_CONFIG
+    overrides = {}
+    if getattr(args, "length", None) is not None:
+        overrides["trace_length"] = args.length
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "benchmarks", None):
+        overrides["benchmarks"] = tuple(args.benchmarks)
+    return config.scaled(**overrides) if overrides else config
+
+
+def _collect_curves(result) -> List:
+    """Pull every ConfidenceCurve off an experiment result, best-effort."""
+    from repro.analysis.curves import ConfidenceCurve
+
+    curves: List[ConfidenceCurve] = []
+    for attribute in vars(result).values():
+        if isinstance(attribute, ConfidenceCurve):
+            curves.append(attribute)
+        elif isinstance(attribute, dict):
+            curves.extend(
+                value for value in attribute.values()
+                if isinstance(value, ConfidenceCurve)
+            )
+    return curves
+
+
+def _command_list() -> int:
+    for experiment in list_experiments():
+        print(f"{experiment.id:24s} {experiment.description}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    try:
+        experiment = get_experiment(args.experiment)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    config = _config_from_args(args)
+    result = experiment.run(config)
+    print(result.format())
+    curves = _collect_curves(result)
+    if args.plot and curves:
+        from repro.analysis.plotting import ascii_curve_plot
+
+        print()
+        print(ascii_curve_plot(curves, title=experiment.description))
+    if args.csv:
+        from repro.analysis.export import curves_to_csv, table_to_csv
+        from repro.analysis.table1 import Table1
+
+        table = getattr(result, "table", None)
+        if isinstance(table, Table1):
+            table_to_csv(table, args.csv)
+        else:
+            curves_to_csv(curves, args.csv)
+        print(f"\nwrote {args.csv}")
+    if args.json:
+        from repro.experiments.serialize import write_result_json
+
+        write_result_json(result, args.json)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _command_run_all(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    for experiment in list_experiments():
+        print(f"=== {experiment.id}: {experiment.description}")
+        print(experiment.run(config).format())
+        print()
+    return 0
+
+
+def _command_suite(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import suite_streams
+    from repro.traces.statistics import compute_statistics
+    from repro.workloads import load_benchmark
+
+    config = _config_from_args(args)
+    streams = suite_streams(config)
+    print(f"{'benchmark':12s} {'dynamic':>9s} {'static':>7s} {'taken':>7s} {'mis%':>6s}")
+    for name, stream in streams.items():
+        trace = load_benchmark(name, config.trace_length, config.seed)
+        stats = compute_statistics(trace)
+        print(
+            f"{name:12s} {stats.dynamic_branches:9d} {stats.static_branches:7d} "
+            f"{stats.taken_fraction:7.2%} {stream.misprediction_rate:6.2%}"
+        )
+    return 0
+
+
+def _command_apps(args: argparse.Namespace) -> int:
+    from repro.apps import (
+        evaluate_dual_path,
+        evaluate_hybrid_selector,
+        evaluate_reverser,
+        evaluate_smt_fetch,
+    )
+
+    config = _config_from_args(args)
+    runners = {
+        "dual-path": evaluate_dual_path,
+        "smt-fetch": evaluate_smt_fetch,
+        "reverser": evaluate_reverser,
+        "hybrid-selector": evaluate_hybrid_selector,
+    }
+    report = runners[args.application](config)
+    print(report.format())
+    return 0
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.traces import save_trace
+    from repro.workloads import load_benchmark
+
+    trace = load_benchmark(args.benchmark, args.length, args.seed)
+    save_trace(trace, args.out)
+    print(f"wrote {len(trace)} branches to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "run-all":
+        return _command_run_all(args)
+    if args.command == "suite":
+        return _command_suite(args)
+    if args.command == "apps":
+        return _command_apps(args)
+    if args.command == "trace":
+        return _command_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

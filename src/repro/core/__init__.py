@@ -1,0 +1,90 @@
+"""Branch-prediction confidence mechanisms — the paper's contribution.
+
+The key abstraction is the :class:`~repro.core.base.ConfidenceEstimator`:
+for each dynamic branch it is *looked up* (producing a bucket value —
+e.g. a raw CIR pattern or a counter value) before the branch resolves, and
+*updated* with the predictor's correctness afterwards.  Buckets feed
+:mod:`repro.analysis`, which sorts them by misprediction rate to build the
+paper's confidence curves, or are thresholded online into the binary
+high/low signal of the paper's Fig. 1.
+
+Estimators provided:
+
+* :class:`OneLevelConfidence` — a table of n-bit CIRs (Fig. 3), indexed by
+  PC / BHR / PC xor BHR / concatenations / global-CIR mixes.
+* :class:`TwoLevelConfidence` — two cascaded CIR tables (Fig. 4), with the
+  paper's three studied variants as ready-made constructors.
+* :class:`ReducedEstimator` — wraps a CIR-based estimator with a reduction
+  function (ones counting, resetting counter, arbitrary callables).
+* :class:`SaturatingCounterConfidence` / :class:`ResettingCounterConfidence`
+  — the Section 5 practical implementations that embed counters directly
+  in the table.
+* :class:`StaticProfileConfidence` — Section 2's idealized profile method.
+"""
+
+from repro.core.base import BucketSemantics, ConfidenceEstimator, ConfidenceSignal
+from repro.core.cir import CIR, CIRTable
+from repro.core.indexing import (
+    BHRIndex,
+    ConcatIndex,
+    GlobalCIRIndex,
+    IndexFunction,
+    PCIndex,
+    XorIndex,
+    make_index,
+)
+from repro.core.init_policies import (
+    INIT_POLICIES,
+    init_lastbit,
+    init_ones,
+    init_random,
+    init_zeros,
+    make_initial_patterns,
+)
+from repro.core.one_level import OneLevelConfidence
+from repro.core.reduction import (
+    IdentityReduction,
+    OnesCountReduction,
+    Reduction,
+    ReducedEstimator,
+    ResettingCountReduction,
+)
+from repro.core.counters import (
+    ResettingCounterConfidence,
+    SaturatingCounterConfidence,
+)
+from repro.core.static_profile import StaticProfileConfidence
+from repro.core.threshold import ThresholdConfidence
+from repro.core.two_level import TwoLevelConfidence
+
+__all__ = [
+    "ConfidenceEstimator",
+    "ConfidenceSignal",
+    "BucketSemantics",
+    "CIR",
+    "CIRTable",
+    "IndexFunction",
+    "PCIndex",
+    "BHRIndex",
+    "XorIndex",
+    "ConcatIndex",
+    "GlobalCIRIndex",
+    "make_index",
+    "init_ones",
+    "init_zeros",
+    "init_random",
+    "init_lastbit",
+    "make_initial_patterns",
+    "INIT_POLICIES",
+    "OneLevelConfidence",
+    "TwoLevelConfidence",
+    "Reduction",
+    "IdentityReduction",
+    "OnesCountReduction",
+    "ResettingCountReduction",
+    "ReducedEstimator",
+    "SaturatingCounterConfidence",
+    "ResettingCounterConfidence",
+    "StaticProfileConfidence",
+    "ThresholdConfidence",
+]

@@ -1,0 +1,97 @@
+"""The confidence estimator interface.
+
+A confidence estimator maps each dynamic branch to a *bucket* — an integer
+summarizing the estimator's state for that branch (a raw CIR pattern, a
+counter value, a static-branch identifier...).  Bucket statistics drive
+the paper's analysis:
+
+* with **empirical** bucket semantics, buckets carry no a-priori order;
+  the analysis sorts them by observed misprediction rate (the paper's
+  "ideal reduction function", tuned to the benchmark data);
+* with **ordered** semantics the estimator declares, once, the order of
+  buckets from least to most confident (e.g. resetting counter values
+  0..16); practical reduction functions are exactly such orders plus a
+  threshold.
+
+Estimators also emit the binary high/low :class:`ConfidenceSignal` of the
+paper's Fig. 1 once a threshold is attached
+(:class:`repro.core.threshold.ThresholdConfidence`).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from typing import Optional, Sequence
+
+
+class ConfidenceSignal(enum.IntEnum):
+    """The binary signal accompanying each branch prediction (Fig. 1)."""
+
+    LOW = 0
+    HIGH = 1
+
+
+class BucketSemantics(enum.Enum):
+    """How an estimator's buckets should be ordered by the analysis."""
+
+    #: No a-priori order; sort buckets by observed misprediction rate.
+    EMPIRICAL = "empirical"
+    #: Estimator declares a least-confident-first order (``bucket_order``).
+    ORDERED = "ordered"
+
+
+class ConfidenceEstimator(abc.ABC):
+    """Abstract confidence estimator.
+
+    The simulation protocol per dynamic branch is::
+
+        bucket = estimator.lookup(pc, bhr, gcir)   # before resolution
+        ... predictor resolves, correctness known ...
+        estimator.update(pc, bhr, gcir, correct)   # after resolution
+
+    ``bhr`` is the engine-owned global branch history register value and
+    ``gcir`` the engine-owned global correct/incorrect register value, both
+    *as of the lookup* (they are updated by the engine after the branch).
+    """
+
+    #: Human-readable mechanism name used in reports and plots.
+    name: str = "confidence"
+
+    @abc.abstractmethod
+    def lookup(self, pc: int, bhr: int, gcir: int) -> int:
+        """Return the bucket for the upcoming prediction (no state change)."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        """Record whether the prediction for this branch was correct."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Restore initial state."""
+
+    @property
+    @abc.abstractmethod
+    def num_buckets(self) -> int:
+        """Exclusive upper bound on bucket values."""
+
+    @property
+    def semantics(self) -> BucketSemantics:
+        """Bucket ordering semantics (default: empirical)."""
+        return BucketSemantics.EMPIRICAL
+
+    @property
+    def bucket_order(self) -> Optional[Sequence[int]]:
+        """Least-confident-first bucket order for ORDERED semantics.
+
+        ``None`` for EMPIRICAL estimators.
+        """
+        return None
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware cost of the mechanism's state, in bits (0 = free)."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,148 @@
+"""Correct/Incorrect Registers (CIRs) and CIR tables.
+
+The paper's Section 3.1: each table entry is an n-bit shift register
+holding the n most recent correct/incorrect indications for that entry,
+with the convention **1 = incorrect prediction, 0 = correct**.  Bit 0 is
+the most recent indication; bit n-1 the oldest.
+
+The paper's example ("correct 3 times, then incorrect, then 4 correct"
+yields ``00010000`` in an 8-bit CIR, reading oldest-to-newest left to
+right) corresponds here to the integer ``0b00010000`` — bit 4 set, i.e.
+the misprediction happened 4 predictions ago.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.bits import bit_mask, popcount
+from repro.utils.validation import check_in_range, check_power_of_two
+
+
+class CIR:
+    """A single n-bit correct/incorrect shift register."""
+
+    __slots__ = ("_bits", "_mask", "_value")
+
+    def __init__(self, bits: int = 16, initial: int = 0) -> None:
+        self._bits = check_in_range(bits, 1, 62, "bits")
+        self._mask = bit_mask(bits)
+        if not 0 <= initial <= self._mask:
+            raise ValueError(f"initial {initial} does not fit in {bits} bits")
+        self._value = initial
+
+    @property
+    def bits(self) -> int:
+        return self._bits
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def record(self, correct: bool) -> None:
+        """Shift in the correctness of the latest prediction."""
+        incorrect_bit = 0 if correct else 1
+        self._value = ((self._value << 1) | incorrect_bit) & self._mask
+
+    def ones_count(self) -> int:
+        """Number of recorded incorrect predictions in the window."""
+        return popcount(self._value)
+
+    def as_paper_string(self) -> str:
+        """Render oldest-to-newest, the paper's textual convention.
+
+        Because bit 0 is the newest indication, the ordinary binary
+        rendering (most-significant bit first) already reads
+        oldest-to-newest.
+
+        >>> c = CIR(8)
+        >>> for correct in [True] * 3 + [False] + [True] * 4:
+        ...     c.record(correct)
+        >>> c.as_paper_string()
+        '00010000'
+        """
+        return format(self._value, f"0{self._bits}b")
+
+    def __repr__(self) -> str:
+        return f"CIR(bits={self._bits}, value={self._value:#x})"
+
+
+class CIRTable:
+    """A power-of-two table of n-bit CIRs (the paper's "CT").
+
+    Backed by a numpy ``uint32`` array for compactness; all per-branch
+    operations are plain integer reads/writes.
+
+    Parameters
+    ----------
+    entries:
+        Number of table entries (power of two).
+    cir_bits:
+        Width n of each CIR (the paper uses n = 16).
+    initializer:
+        Either ``None`` (all zeros), or a callable
+        ``(entries, cir_bits) -> np.ndarray`` producing the initial
+        patterns — see :mod:`repro.core.init_policies`.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        cir_bits: int = 16,
+        initializer: Optional[Callable[[int, int], np.ndarray]] = None,
+    ) -> None:
+        self._entries = check_power_of_two(entries, "entries")
+        self._cir_bits = check_in_range(cir_bits, 1, 30, "cir_bits")
+        self._mask = bit_mask(cir_bits)
+        self._initializer = initializer
+        self._table = self._initial_table()
+
+    def _initial_table(self) -> np.ndarray:
+        if self._initializer is None:
+            return np.zeros(self._entries, dtype=np.uint32)
+        patterns = np.asarray(
+            self._initializer(self._entries, self._cir_bits), dtype=np.uint32
+        )
+        if patterns.shape != (self._entries,):
+            raise ValueError(
+                f"initializer must return {self._entries} patterns, "
+                f"got shape {patterns.shape}"
+            )
+        if patterns.size and int(patterns.max()) > self._mask:
+            raise ValueError("initializer produced patterns wider than cir_bits")
+        return patterns
+
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def cir_bits(self) -> int:
+        return self._cir_bits
+
+    @property
+    def num_patterns(self) -> int:
+        """Number of distinct CIR patterns (2**cir_bits)."""
+        return 1 << self._cir_bits
+
+    @property
+    def storage_bits(self) -> int:
+        return self._entries * self._cir_bits
+
+    def read(self, index: int) -> int:
+        """Current CIR pattern at ``index``."""
+        return int(self._table[index])
+
+    def record(self, index: int, correct: bool) -> None:
+        """Shift the correctness of the latest prediction into entry ``index``."""
+        incorrect_bit = 0 if correct else 1
+        self._table[index] = ((int(self._table[index]) << 1) | incorrect_bit) & self._mask
+
+    def reset(self) -> None:
+        """Reinitialize all entries with the configured policy."""
+        self._table = self._initial_table()
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the raw pattern array (for tests and the fast engine)."""
+        return self._table.copy()

@@ -1,0 +1,141 @@
+"""Counter-based confidence tables (paper Section 5.1 practical forms).
+
+Instead of storing full CIRs and reducing them combinationally, the
+counters can be embedded in the table, "yielding a logarithmic cost
+savings":
+
+* :class:`SaturatingCounterConfidence` — an up/down counter per entry
+  (up on correct, down on incorrect, saturating at [0, maximum]).  *Not*
+  equivalent to ones-counting a CIR: a single misprediction perturbs the
+  counter for only one access, which is exactly the deficiency the paper
+  observes (the maximum-count bucket bloats with mispredictions).
+* :class:`ResettingCounterConfidence` — increment on correct, reset to 0
+  on incorrect, saturate at ``maximum``.  Bit-for-bit equivalent to a
+  full CIR (initialized to all ones) viewed through
+  :class:`repro.core.reduction.ResettingCountReduction`, at a fraction of
+  the storage — the configuration the paper recommends.
+
+Both are ORDERED estimators: counter value 0 is least confident, the
+saturated maximum most confident.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import BucketSemantics, ConfidenceEstimator
+from repro.core.indexing import IndexFunction, make_index
+from repro.utils.validation import check_in_range
+
+
+class _CounterTableConfidence(ConfidenceEstimator):
+    """Shared plumbing for per-entry counter confidence tables."""
+
+    def __init__(
+        self, index_function: IndexFunction, maximum: int, initial: int
+    ) -> None:
+        self._index_function = index_function
+        self._maximum = check_in_range(maximum, 1, 1 << 20, "maximum")
+        self._initial = check_in_range(initial, 0, maximum, "initial")
+        self._table = np.full(
+            index_function.table_entries, self._initial, dtype=np.int32
+        )
+
+    @property
+    def index_function(self) -> IndexFunction:
+        return self._index_function
+
+    @property
+    def maximum(self) -> int:
+        return self._maximum
+
+    def lookup(self, pc: int, bhr: int, gcir: int) -> int:
+        return int(self._table[self._index_function(pc, bhr, gcir)])
+
+    def reset(self) -> None:
+        self._table.fill(self._initial)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the raw counter array (tests / fast engine)."""
+        return self._table.copy()
+
+    @property
+    def num_buckets(self) -> int:
+        return self._maximum + 1
+
+    @property
+    def semantics(self) -> BucketSemantics:
+        return BucketSemantics.ORDERED
+
+    @property
+    def bucket_order(self) -> Sequence[int]:
+        return range(self._maximum + 1)
+
+    @property
+    def storage_bits(self) -> int:
+        bits_per_counter = self._maximum.bit_length()
+        return len(self._table) * bits_per_counter
+
+
+class SaturatingCounterConfidence(_CounterTableConfidence):
+    """Up/down saturating counters embedded in the confidence table.
+
+    The paper's counters "count from 0 to 16 ... up for each correct
+    prediction and down for each incorrect one, saturating at the
+    extremes".
+    """
+
+    def __init__(
+        self,
+        index_function: IndexFunction,
+        maximum: int = 16,
+        initial: int = 0,
+    ) -> None:
+        super().__init__(index_function, maximum, initial)
+        self.name = f"sat[{index_function.name},0..{maximum}]"
+
+    @classmethod
+    def paper_variant(cls, index_bits: int = 16, maximum: int = 16) -> "SaturatingCounterConfidence":
+        """The Section 5.1 configuration: PC xor BHR index, 0..16 counters."""
+        return cls(make_index("pc_xor_bhr", index_bits), maximum=maximum)
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        index = self._index_function(pc, bhr, gcir)
+        value = int(self._table[index])
+        if correct:
+            if value < self._maximum:
+                self._table[index] = value + 1
+        elif value > 0:
+            self._table[index] = value - 1
+
+
+class ResettingCounterConfidence(_CounterTableConfidence):
+    """Resetting counters embedded in the confidence table (paper's choice).
+
+    Incremented "each time the corresponding branch is predicted
+    correctly", reset "to zero on any misprediction", saturating at
+    ``maximum`` (paper: 16).
+    """
+
+    def __init__(
+        self,
+        index_function: IndexFunction,
+        maximum: int = 16,
+        initial: int = 0,
+    ) -> None:
+        super().__init__(index_function, maximum, initial)
+        self.name = f"reset[{index_function.name},0..{maximum}]"
+
+    @classmethod
+    def paper_variant(cls, index_bits: int = 16, maximum: int = 16) -> "ResettingCounterConfidence":
+        """The recommended implementation: PC xor BHR index, 0..16 counters."""
+        return cls(make_index("pc_xor_bhr", index_bits), maximum=maximum)
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        index = self._index_function(pc, bhr, gcir)
+        if not correct:
+            self._table[index] = 0
+        elif int(self._table[index]) < self._maximum:
+            self._table[index] += 1

@@ -1,0 +1,229 @@
+"""Index functions for confidence tables.
+
+The paper's Section 3.1 enumerates the ways of addressing a CIR table:
+the (truncated) program counter, the global BHR, a global CIR, and
+combinations formed by concatenation or exclusive-OR.  Each strategy is an
+:class:`IndexFunction`: given the branch PC and the engine-owned global
+registers it produces a table index of a configured width.
+
+Every index function also provides a vectorized form over numpy arrays,
+used by the fast simulation engine.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.bits import bit_mask
+from repro.utils.validation import check_in_range
+
+#: Instructions are 4-byte aligned (see the paper's "bits 17 through 2").
+PC_ALIGNMENT_BITS = 2
+
+
+class IndexFunction(abc.ABC):
+    """Maps (pc, bhr, gcir) to a table index of ``index_bits`` bits."""
+
+    def __init__(self, index_bits: int) -> None:
+        self._index_bits = check_in_range(index_bits, 1, 30, "index_bits")
+        self._mask = bit_mask(index_bits)
+
+    @property
+    def index_bits(self) -> int:
+        return self._index_bits
+
+    @property
+    def table_entries(self) -> int:
+        return 1 << self._index_bits
+
+    @abc.abstractmethod
+    def __call__(self, pc: int, bhr: int, gcir: int) -> int:
+        """Compute the table index for one branch."""
+
+    @abc.abstractmethod
+    def vectorized(
+        self, pcs: np.ndarray, bhrs: np.ndarray, gcirs: np.ndarray
+    ) -> np.ndarray:
+        """Compute indices for whole streams at once (int64 output)."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short name matching the paper's curve labels (e.g. ``BHRxorPC``)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ({self._index_bits} bits)>"
+
+
+class PCIndex(IndexFunction):
+    """Index with the truncated program counter alone."""
+
+    def __call__(self, pc: int, bhr: int, gcir: int) -> int:
+        return (pc >> PC_ALIGNMENT_BITS) & self._mask
+
+    def vectorized(self, pcs, bhrs, gcirs):
+        return ((pcs.astype(np.int64)) >> PC_ALIGNMENT_BITS) & self._mask
+
+    @property
+    def name(self) -> str:
+        return "PC"
+
+
+class BHRIndex(IndexFunction):
+    """Index with the global branch history register alone."""
+
+    def __call__(self, pc: int, bhr: int, gcir: int) -> int:
+        return bhr & self._mask
+
+    def vectorized(self, pcs, bhrs, gcirs):
+        return bhrs.astype(np.int64) & self._mask
+
+    @property
+    def name(self) -> str:
+        return "BHR"
+
+
+class GlobalCIRIndex(IndexFunction):
+    """Index with the global correct/incorrect register alone.
+
+    The paper found this "of little value"; it exists so the indexing
+    ablation can reproduce that observation.
+    """
+
+    def __call__(self, pc: int, bhr: int, gcir: int) -> int:
+        return gcir & self._mask
+
+    def vectorized(self, pcs, bhrs, gcirs):
+        return gcirs.astype(np.int64) & self._mask
+
+    @property
+    def name(self) -> str:
+        return "GCIR"
+
+
+class XorIndex(IndexFunction):
+    """Exclusive-OR of any subset of {PC, BHR, GCIR}.
+
+    ``XorIndex(16, use_pc=True, use_bhr=True)`` is the paper's best
+    one-level index, "PC xor BHR".
+    """
+
+    def __init__(
+        self,
+        index_bits: int,
+        use_pc: bool = False,
+        use_bhr: bool = False,
+        use_gcir: bool = False,
+    ) -> None:
+        super().__init__(index_bits)
+        if not (use_pc or use_bhr or use_gcir):
+            raise ValueError("XorIndex needs at least one source")
+        self._use_pc = use_pc
+        self._use_bhr = use_bhr
+        self._use_gcir = use_gcir
+
+    def __call__(self, pc: int, bhr: int, gcir: int) -> int:
+        index = 0
+        if self._use_pc:
+            index ^= pc >> PC_ALIGNMENT_BITS
+        if self._use_bhr:
+            index ^= bhr
+        if self._use_gcir:
+            index ^= gcir
+        return index & self._mask
+
+    def vectorized(self, pcs, bhrs, gcirs):
+        index = np.zeros(pcs.shape[0], dtype=np.int64)
+        if self._use_pc:
+            index ^= pcs.astype(np.int64) >> PC_ALIGNMENT_BITS
+        if self._use_bhr:
+            index ^= bhrs.astype(np.int64)
+        if self._use_gcir:
+            index ^= gcirs.astype(np.int64)
+        return index & self._mask
+
+    @property
+    def name(self) -> str:
+        parts = []
+        if self._use_bhr:
+            parts.append("BHR")
+        if self._use_pc:
+            parts.append("PC")
+        if self._use_gcir:
+            parts.append("GCIR")
+        return "xor".join(parts)
+
+
+class ConcatIndex(IndexFunction):
+    """Concatenation of sub-fields (the paper's alternative to XOR).
+
+    Fields are given least-significant first as ``(source, bits)`` pairs
+    with ``source`` one of ``"pc"``, ``"bhr"``, ``"gcir"``; the total width
+    must equal ``index_bits``.
+    """
+
+    _SOURCES = ("pc", "bhr", "gcir")
+
+    def __init__(self, index_bits: int, fields: Sequence["tuple[str, int]"]) -> None:
+        super().__init__(index_bits)
+        total = 0
+        for source, bits in fields:
+            if source not in self._SOURCES:
+                raise ValueError(f"unknown field source {source!r}")
+            check_in_range(bits, 1, index_bits, "field bits")
+            total += bits
+        if total != index_bits:
+            raise ValueError(
+                f"field widths sum to {total}, expected index_bits={index_bits}"
+            )
+        self._fields = tuple((source, bits) for source, bits in fields)
+
+    def _field_value(self, source: str, pc: int, bhr: int, gcir: int) -> int:
+        if source == "pc":
+            return pc >> PC_ALIGNMENT_BITS
+        if source == "bhr":
+            return bhr
+        return gcir
+
+    def __call__(self, pc: int, bhr: int, gcir: int) -> int:
+        index = 0
+        shift = 0
+        for source, bits in self._fields:
+            value = self._field_value(source, pc, bhr, gcir) & bit_mask(bits)
+            index |= value << shift
+            shift += bits
+        return index
+
+    def vectorized(self, pcs, bhrs, gcirs):
+        arrays = {
+            "pc": pcs.astype(np.int64) >> PC_ALIGNMENT_BITS,
+            "bhr": bhrs.astype(np.int64),
+            "gcir": gcirs.astype(np.int64),
+        }
+        index = np.zeros(pcs.shape[0], dtype=np.int64)
+        shift = 0
+        for source, bits in self._fields:
+            index |= (arrays[source] & bit_mask(bits)) << shift
+            shift += bits
+        return index
+
+    @property
+    def name(self) -> str:
+        return "cat(" + ",".join(f"{s}:{b}" for s, b in self._fields) + ")"
+
+
+def make_index(kind: str, index_bits: int) -> IndexFunction:
+    """Build one of the paper's three reported one-level index functions.
+
+    ``kind`` is ``"pc"``, ``"bhr"``, or ``"pc_xor_bhr"``.
+    """
+    if kind == "pc":
+        return PCIndex(index_bits)
+    if kind == "bhr":
+        return BHRIndex(index_bits)
+    if kind == "pc_xor_bhr":
+        return XorIndex(index_bits, use_pc=True, use_bhr=True)
+    raise ValueError(f"unknown index kind {kind!r}")

@@ -1,0 +1,67 @@
+"""CIR table initialization policies (paper Section 5.4).
+
+The initial contents of the CT matter because the table has deep memory:
+"initial state effects still appear even when the benchmarks are run to
+their full length".  The paper studies four policies:
+
+* ``ones`` — all CIR bits 1 (every prediction presumed incorrect); the
+  paper's default, "found to give better results";
+* ``zeros`` — all bits 0; performs noticeably worse because startup
+  mispredictions land in the zero bucket and are labelled high confidence;
+* ``random`` — independent uniform random bits, ≈ as good as ones;
+* ``lastbit`` — only the oldest bit set; ≈ as good as ones, and cheap to
+  apply at context switches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.utils.bits import bit_mask
+from repro.utils.rng import make_rng
+
+Initializer = Callable[[int, int], np.ndarray]
+
+
+def init_ones(entries: int, cir_bits: int) -> np.ndarray:
+    """Every CIR starts with all bits set (all predictions presumed wrong)."""
+    return np.full(entries, bit_mask(cir_bits), dtype=np.uint32)
+
+
+def init_zeros(entries: int, cir_bits: int) -> np.ndarray:
+    """Every CIR starts at zero (all predictions presumed correct)."""
+    return np.zeros(entries, dtype=np.uint32)
+
+
+def init_lastbit(entries: int, cir_bits: int) -> np.ndarray:
+    """Only the oldest bit (bit ``cir_bits - 1``) of each CIR is set."""
+    return np.full(entries, 1 << (cir_bits - 1), dtype=np.uint32)
+
+
+def init_random(entries: int, cir_bits: int, seed: int = 0) -> np.ndarray:
+    """Independent uniform random patterns (deterministic given ``seed``)."""
+    rng = make_rng("cir-init-random", seed, entries, cir_bits)
+    return rng.integers(0, 1 << cir_bits, size=entries, dtype=np.uint32)
+
+
+def make_initial_patterns(policy: str, seed: int = 0) -> Initializer:
+    """Return the initializer for ``policy`` (ones/zeros/random/lastbit)."""
+    if policy == "random":
+        return lambda entries, cir_bits: init_random(entries, cir_bits, seed)
+    try:
+        return INIT_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown init policy {policy!r}; expected one of "
+            f"{sorted(INIT_POLICIES) + ['random']}"
+        ) from None
+
+
+#: The deterministic policies by paper name.
+INIT_POLICIES: Dict[str, Initializer] = {
+    "ones": init_ones,
+    "zeros": init_zeros,
+    "lastbit": init_lastbit,
+}

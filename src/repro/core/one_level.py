@@ -1,0 +1,84 @@
+"""One-level dynamic confidence mechanisms (paper Fig. 3).
+
+A single CIR table indexed by an :class:`~repro.core.indexing.IndexFunction`.
+The bucket emitted for each branch is the raw CIR pattern read from the
+table; reduction functions (ideal, ones counting, resetting counting) are
+applied downstream, either analytically (:mod:`repro.analysis`) or online
+(:class:`repro.core.reduction.ReducedEstimator`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import BucketSemantics, ConfidenceEstimator
+from repro.core.cir import CIRTable
+from repro.core.indexing import IndexFunction, make_index
+from repro.core.init_policies import Initializer, init_ones
+
+
+class OneLevelConfidence(ConfidenceEstimator):
+    """CIR table + index function: the paper's one-level mechanism.
+
+    Parameters
+    ----------
+    index_function:
+        How the CT is addressed (PC, BHR, PC xor BHR, ...).  The CT size
+        is ``2 ** index_function.index_bits``.
+    cir_bits:
+        Width of each CIR (paper: 16).
+    initializer:
+        CT initialization policy (paper default: all ones).
+    """
+
+    def __init__(
+        self,
+        index_function: IndexFunction,
+        cir_bits: int = 16,
+        initializer: Optional[Initializer] = init_ones,
+    ) -> None:
+        self._index_function = index_function
+        self._table = CIRTable(
+            entries=index_function.table_entries,
+            cir_bits=cir_bits,
+            initializer=initializer,
+        )
+        self.name = f"one-level[{index_function.name}]"
+
+    @classmethod
+    def paper_variant(cls, kind: str, index_bits: int = 16, cir_bits: int = 16) -> "OneLevelConfidence":
+        """One of the paper's three variants: ``pc``, ``bhr``, ``pc_xor_bhr``."""
+        return cls(make_index(kind, index_bits), cir_bits=cir_bits)
+
+    @property
+    def index_function(self) -> IndexFunction:
+        return self._index_function
+
+    @property
+    def table(self) -> CIRTable:
+        return self._table
+
+    @property
+    def cir_bits(self) -> int:
+        return self._table.cir_bits
+
+    def lookup(self, pc: int, bhr: int, gcir: int) -> int:
+        return self._table.read(self._index_function(pc, bhr, gcir))
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        self._table.record(self._index_function(pc, bhr, gcir), correct)
+
+    def reset(self) -> None:
+        self._table.reset()
+
+    @property
+    def num_buckets(self) -> int:
+        return self._table.num_patterns
+
+    @property
+    def semantics(self) -> BucketSemantics:
+        return BucketSemantics.EMPIRICAL
+
+    @property
+    def storage_bits(self) -> int:
+        return self._table.storage_bits

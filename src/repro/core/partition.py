@@ -1,0 +1,180 @@
+"""Multi-level confidence partitions (the paper's §1 generalization).
+
+"Note that in general, one could divide the branches into multiple sets
+with a range of confidence levels.  To date, we have not pursued this
+generalization and consider only two confidence sets in this paper."
+
+This module pursues it: a :class:`ConfidencePartition` splits an
+estimator's buckets into N ordered confidence classes (class 0 = least
+confident).  Partitions are built either explicitly or from a confidence
+curve by choosing dynamic-branch-percent boundaries — e.g. boundaries
+``(5, 20, 50)`` make four classes holding the least-confident ~5 %,
+the next ~15 %, the next ~30 %, and the rest.
+
+A graded consumer can then allocate resources per class: e.g. dual-path
+fork on class 0, fetch-throttle class 1, run free on the top class
+(see ``examples/`` and :mod:`repro.experiments.extension_multilevel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.buckets import BucketStatistics
+from repro.analysis.curves import ConfidenceCurve
+from repro.core.base import ConfidenceEstimator
+
+
+class ConfidencePartition:
+    """An estimator plus an ordered partition of its buckets into classes.
+
+    Class indices run least-confident first: class 0 is the set the
+    consumer should trust least.  Every bucket must belong to exactly one
+    class; buckets not mentioned are assigned to the final (most
+    confident) class.
+    """
+
+    def __init__(
+        self,
+        estimator: ConfidenceEstimator,
+        class_buckets: Sequence[Sequence[int]],
+    ) -> None:
+        if not class_buckets:
+            raise ValueError("a partition needs at least one class")
+        self._estimator = estimator
+        num_buckets = estimator.num_buckets
+        mapping = np.full(num_buckets, len(class_buckets) - 1, dtype=np.int64)
+        seen: set = set()
+        for class_index, buckets in enumerate(class_buckets):
+            for bucket in buckets:
+                if not 0 <= bucket < num_buckets:
+                    raise ValueError(
+                        f"bucket {bucket} outside estimator range [0, {num_buckets})"
+                    )
+                if bucket in seen:
+                    raise ValueError(f"bucket {bucket} assigned to two classes")
+                seen.add(bucket)
+                mapping[bucket] = class_index
+        self._mapping = mapping
+        self._num_classes = len(class_buckets)
+
+    # ----- construction -----------------------------------------------------
+
+    @classmethod
+    def from_curve(
+        cls,
+        estimator: ConfidenceEstimator,
+        curve: ConfidenceCurve,
+        boundaries_percent: Sequence[float],
+    ) -> "ConfidencePartition":
+        """Cut a curve at dynamic-percent boundaries into N+1 classes.
+
+        ``boundaries_percent`` must be strictly increasing within
+        (0, 100); class k holds the curve points between boundary k-1 and
+        boundary k.
+        """
+        ordered = list(boundaries_percent)
+        if ordered != sorted(ordered) or len(set(ordered)) != len(ordered):
+            raise ValueError("boundaries must be strictly increasing")
+        if ordered and (ordered[0] <= 0 or ordered[-1] >= 100):
+            raise ValueError("boundaries must lie strictly inside (0, 100)")
+        classes: List[List[int]] = [[] for _ in range(len(ordered) + 1)]
+        # A bucket belongs to the class containing its *starting* cumulative
+        # position; buckets are coarse (a single counter value can cover
+        # several percent of the branches), so assigning by the endpoint
+        # would leave narrow leading classes empty.
+        start_percent = 0.0
+        for point in curve.points:
+            class_index = 0
+            while (
+                class_index < len(ordered)
+                and start_percent >= ordered[class_index] - 1e-9
+            ):
+                class_index += 1
+            classes[class_index].append(point.bucket)
+            start_percent = point.dynamic_percent
+        return cls(estimator, classes)
+
+    # ----- use --------------------------------------------------------------
+
+    @property
+    def estimator(self) -> ConfidenceEstimator:
+        return self._estimator
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    def class_of_bucket(self, bucket: int) -> int:
+        """The confidence class of a raw bucket value."""
+        return int(self._mapping[bucket])
+
+    def classify(self, pc: int, bhr: int, gcir: int) -> int:
+        """The confidence class accompanying the upcoming prediction."""
+        return self.class_of_bucket(self._estimator.lookup(pc, bhr, gcir))
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        """Forward training to the wrapped estimator."""
+        self._estimator.update(pc, bhr, gcir, correct)
+
+    def classify_stream(self, buckets: np.ndarray) -> np.ndarray:
+        """Vectorized classification of a bucket stream."""
+        return self._mapping[np.asarray(buckets, dtype=np.int64)]
+
+    # ----- analysis ---------------------------------------------------------
+
+    def class_statistics(self, statistics: BucketStatistics) -> BucketStatistics:
+        """Regroup bucket statistics by confidence class."""
+        return statistics.regrouped(self._mapping, num_buckets=self._num_classes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConfidencePartition({self._estimator!r}, "
+            f"classes={self._num_classes})"
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """Per-class shares and misprediction rate."""
+
+    class_index: int
+    branch_percent: float
+    misprediction_percent: float
+    misprediction_rate: float
+
+
+def summarize_partition(
+    partition: ConfidencePartition, statistics: BucketStatistics
+) -> List[ClassSummary]:
+    """Human-facing per-class summary of a partition over statistics."""
+    grouped = partition.class_statistics(statistics)
+    total = grouped.total
+    total_mispredicts = grouped.total_mispredicts
+    summaries = []
+    for class_index in range(grouped.num_buckets):
+        count = float(grouped.counts[class_index])
+        mispredicts = float(grouped.mispredicts[class_index])
+        summaries.append(
+            ClassSummary(
+                class_index=class_index,
+                branch_percent=100.0 * count / total if total else 0.0,
+                misprediction_percent=(
+                    100.0 * mispredicts / total_mispredicts
+                    if total_mispredicts
+                    else 0.0
+                ),
+                misprediction_rate=mispredicts / count if count else 0.0,
+            )
+        )
+    return summaries
+
+
+def class_rates_dict(
+    summaries: Sequence[ClassSummary],
+) -> Dict[int, float]:
+    """Map class index -> misprediction rate (convenience for tests)."""
+    return {s.class_index: s.misprediction_rate for s in summaries}

@@ -1,0 +1,92 @@
+"""Static (profile-based) confidence (paper Section 2).
+
+All dynamic executions of the same static branch receive the same
+confidence.  The estimator is built from a
+:class:`~repro.traces.statistics.StaticBranchProfile` — per-static-branch
+execution and misprediction counts obtained by profiling the underlying
+predictor — and emits one bucket per static branch.
+
+The paper's method is deliberately idealized ("perfect profiling — we are
+executing the programs with exactly the same data as for the profile"),
+which this class reproduces when the profile comes from the same trace
+that is then analyzed.  Cross-input realism can be explored by profiling
+one trace (or seed) and analyzing another.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.base import BucketSemantics, ConfidenceEstimator
+from repro.traces.statistics import StaticBranchProfile
+
+
+class StaticProfileConfidence(ConfidenceEstimator):
+    """Per-static-branch confidence from a profile.
+
+    Buckets are dense static-branch identifiers; ``bucket_order`` lists
+    them by profiled misprediction rate, highest first — the paper's
+    sorted list of static branches.  Branches absent from the profile
+    share a reserved bucket placed at the *confident* end (an unprofiled
+    branch cannot be tagged low confidence by a profile-driven tool).
+    """
+
+    def __init__(self, profile: StaticBranchProfile) -> None:
+        ranked = sorted(
+            profile.counts.items(),
+            key=lambda item: (
+                -(item[1][1] / item[1][0] if item[1][0] else 0.0),
+                item[0],
+            ),
+        )
+        self._bucket_of_pc: Dict[int, int] = {
+            pc: bucket for bucket, (pc, _) in enumerate(ranked)
+        }
+        self._unknown_bucket = len(ranked)
+        self._misprediction_rates = [
+            (mis / execs if execs else 0.0) for _, (execs, mis) in ranked
+        ]
+        self.name = "static-profile"
+
+    @classmethod
+    def from_counts(cls, counts: Dict[int, "tuple[int, int]"]) -> "StaticProfileConfidence":
+        """Build directly from a {pc: (executions, mispredictions)} map."""
+        return cls(StaticBranchProfile(counts))
+
+    def bucket_for_pc(self, pc: int) -> int:
+        """The bucket (profile rank) assigned to the branch at ``pc``."""
+        return self._bucket_of_pc.get(pc, self._unknown_bucket)
+
+    def profiled_misprediction_rate(self, bucket: int) -> float:
+        """The profile misprediction rate of ``bucket`` (0.0 for unknown)."""
+        if bucket == self._unknown_bucket:
+            return 0.0
+        return self._misprediction_rates[bucket]
+
+    def lookup(self, pc: int, bhr: int, gcir: int) -> int:
+        return self.bucket_for_pc(pc)
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        """Static confidence has no run-time state to train."""
+
+    def reset(self) -> None:
+        """Static confidence has no run-time state."""
+
+    @property
+    def num_buckets(self) -> int:
+        return self._unknown_bucket + 1
+
+    @property
+    def semantics(self) -> BucketSemantics:
+        return BucketSemantics.ORDERED
+
+    @property
+    def bucket_order(self) -> Sequence[int]:
+        """Ranks are already least-confident first by construction."""
+        return range(self.num_buckets)
+
+    @property
+    def storage_bits(self) -> int:
+        # One confidence bit per static branch, carried in the binary
+        # (like the PowerPC 601 reverse bit); no dynamic hardware state.
+        return 0

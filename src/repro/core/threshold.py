@@ -1,0 +1,59 @@
+"""Online binary confidence signal (paper Fig. 1).
+
+The analyses in :mod:`repro.analysis` study whole bucket distributions;
+the *applications* (dual-path forking, SMT fetch gating, the reverser)
+need a live high/low signal per prediction.  ``ThresholdConfidence`` wraps
+any estimator with a set of low-confidence buckets — typically chosen
+from an offline confidence curve via
+:meth:`repro.analysis.curves.ConfidenceCurve.low_confidence_buckets`.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable
+
+from repro.core.base import ConfidenceEstimator, ConfidenceSignal
+
+
+class ThresholdConfidence:
+    """An estimator plus a low-confidence bucket set → binary signal."""
+
+    def __init__(
+        self, estimator: ConfidenceEstimator, low_buckets: Iterable[int]
+    ) -> None:
+        self._estimator = estimator
+        self._low_buckets: AbstractSet[int] = frozenset(low_buckets)
+        out_of_range = [b for b in self._low_buckets if not 0 <= b < estimator.num_buckets]
+        if out_of_range:
+            raise ValueError(
+                f"low buckets {sorted(out_of_range)} outside estimator's "
+                f"bucket range [0, {estimator.num_buckets})"
+            )
+
+    @property
+    def estimator(self) -> ConfidenceEstimator:
+        return self._estimator
+
+    @property
+    def low_buckets(self) -> AbstractSet[int]:
+        return self._low_buckets
+
+    def signal(self, pc: int, bhr: int, gcir: int) -> ConfidenceSignal:
+        """The high/low signal accompanying the prediction for this branch."""
+        bucket = self._estimator.lookup(pc, bhr, gcir)
+        if bucket in self._low_buckets:
+            return ConfidenceSignal.LOW
+        return ConfidenceSignal.HIGH
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        """Forward training to the wrapped estimator."""
+        self._estimator.update(pc, bhr, gcir, correct)
+
+    def reset(self) -> None:
+        self._estimator.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdConfidence({self._estimator!r}, "
+            f"low_buckets={len(self._low_buckets)})"
+        )

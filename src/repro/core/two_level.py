@@ -1,0 +1,161 @@
+"""Two-level dynamic confidence mechanisms (paper Fig. 4).
+
+A first-level CT is indexed as in the one-level method and yields an
+n-bit CIR.  That CIR — optionally exclusive-ORed with PC and/or BHR —
+indexes a second-level CT of 2^n entries holding p-bit CIRs.  The bucket
+is the second-level CIR; both levels shift in the correctness indication
+on update.
+
+The paper simulates three representative variants, exposed as ready-made
+constructors:
+
+* :meth:`TwoLevelConfidence.pc_then_cir` — "PC-CIR"
+* :meth:`TwoLevelConfidence.xor_then_cir` — "BHRxorPC-CIR" (the best)
+* :meth:`TwoLevelConfidence.xor_then_xor` — "BHRxorPC-BHRxorCIRxorPC"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import BucketSemantics, ConfidenceEstimator
+from repro.core.cir import CIRTable
+from repro.core.indexing import PC_ALIGNMENT_BITS, IndexFunction, make_index
+from repro.core.init_policies import Initializer, init_ones
+from repro.utils.bits import bit_mask
+
+
+class TwoLevelConfidence(ConfidenceEstimator):
+    """Two cascaded CIR tables.
+
+    Parameters
+    ----------
+    first_index:
+        Index function for the first-level CT.
+    level1_cir_bits:
+        Width n of first-level CIRs; the second-level CT has 2^n entries.
+    level2_cir_bits:
+        Width p of second-level CIRs (the emitted bucket).
+    second_use_pc, second_use_bhr:
+        Whether PC / BHR are exclusive-ORed with the first-level CIR when
+        forming the second-level index.
+    initializer:
+        Initialization policy applied to both tables (paper default: ones).
+    """
+
+    def __init__(
+        self,
+        first_index: IndexFunction,
+        level1_cir_bits: int = 16,
+        level2_cir_bits: int = 16,
+        second_use_pc: bool = False,
+        second_use_bhr: bool = False,
+        initializer: Optional[Initializer] = init_ones,
+    ) -> None:
+        self._first_index = first_index
+        self._level1 = CIRTable(
+            entries=first_index.table_entries,
+            cir_bits=level1_cir_bits,
+            initializer=initializer,
+        )
+        self._level2 = CIRTable(
+            entries=1 << level1_cir_bits,
+            cir_bits=level2_cir_bits,
+            initializer=initializer,
+        )
+        self._second_use_pc = second_use_pc
+        self._second_use_bhr = second_use_bhr
+        self._level2_index_mask = bit_mask(level1_cir_bits)
+        self.name = f"two-level[{first_index.name}-{self._second_name()}]"
+
+    def _second_name(self) -> str:
+        parts = ["CIR"]
+        if self._second_use_pc:
+            parts.append("PC")
+        if self._second_use_bhr:
+            parts.append("BHR")
+        return "xor".join(parts)
+
+    # ----- the paper's three studied variants ------------------------------
+
+    @classmethod
+    def pc_then_cir(
+        cls, index_bits: int = 16, level1_cir_bits: int = 16, level2_cir_bits: int = 16
+    ) -> "TwoLevelConfidence":
+        """Variant 1: PC reads level 1; the CIR alone reads level 2."""
+        return cls(
+            make_index("pc", index_bits),
+            level1_cir_bits=level1_cir_bits,
+            level2_cir_bits=level2_cir_bits,
+        )
+
+    @classmethod
+    def xor_then_cir(
+        cls, index_bits: int = 16, level1_cir_bits: int = 16, level2_cir_bits: int = 16
+    ) -> "TwoLevelConfidence":
+        """Variant 2 (best): PC xor BHR reads level 1; CIR reads level 2."""
+        return cls(
+            make_index("pc_xor_bhr", index_bits),
+            level1_cir_bits=level1_cir_bits,
+            level2_cir_bits=level2_cir_bits,
+        )
+
+    @classmethod
+    def xor_then_xor(
+        cls, index_bits: int = 16, level1_cir_bits: int = 16, level2_cir_bits: int = 16
+    ) -> "TwoLevelConfidence":
+        """Variant 3: PC xor BHR reads level 1; CIR xor PC xor BHR reads level 2."""
+        return cls(
+            make_index("pc_xor_bhr", index_bits),
+            level1_cir_bits=level1_cir_bits,
+            level2_cir_bits=level2_cir_bits,
+            second_use_pc=True,
+            second_use_bhr=True,
+        )
+
+    # ----- estimator protocol ----------------------------------------------
+
+    def _level2_index(self, cir1: int, pc: int, bhr: int) -> int:
+        index = cir1
+        if self._second_use_pc:
+            index ^= pc >> PC_ALIGNMENT_BITS
+        if self._second_use_bhr:
+            index ^= bhr
+        return index & self._level2_index_mask
+
+    def lookup(self, pc: int, bhr: int, gcir: int) -> int:
+        cir1 = self._level1.read(self._first_index(pc, bhr, gcir))
+        return self._level2.read(self._level2_index(cir1, pc, bhr))
+
+    def update(self, pc: int, bhr: int, gcir: int, correct: bool) -> None:
+        first_entry = self._first_index(pc, bhr, gcir)
+        cir1 = self._level1.read(first_entry)
+        # The second level records the correctness for the *context* that was
+        # looked up, i.e. the pre-update first-level CIR; then the first
+        # level shifts in the new indication.
+        self._level2.record(self._level2_index(cir1, pc, bhr), correct)
+        self._level1.record(first_entry, correct)
+
+    def reset(self) -> None:
+        self._level1.reset()
+        self._level2.reset()
+
+    @property
+    def num_buckets(self) -> int:
+        return self._level2.num_patterns
+
+    @property
+    def semantics(self) -> BucketSemantics:
+        return BucketSemantics.EMPIRICAL
+
+    @property
+    def level1(self) -> CIRTable:
+        return self._level1
+
+    @property
+    def level2(self) -> CIRTable:
+        return self._level2
+
+    @property
+    def storage_bits(self) -> int:
+        return self._level1.storage_bits + self._level2.storage_bits

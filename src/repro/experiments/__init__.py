@@ -1,0 +1,23 @@
+"""The paper's experiments, one module per figure/table.
+
+Every experiment module exposes a ``run(config)`` function returning a
+result dataclass with the figure's curves (or table) plus the headline
+numbers the paper quotes, and a ``format()``/``__str__`` rendering for
+the CLI.  ``repro.experiments.registry`` maps experiment ids ("fig5",
+"table1", ...) to their runners.
+
+All experiments share :class:`~repro.experiments.config.ExperimentConfig`
+(suite composition, trace length, seed, table geometries) and the stream
+helpers in :mod:`repro.experiments.runner`.
+"""
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+]

@@ -1,0 +1,98 @@
+"""Ablation — index-formation choices the paper discusses but does not plot.
+
+Section 3.1 makes two claims from "preliminary studies":
+
+1. "exclusive-ORing is more effective than concatenating sub-fields";
+2. "indexing with a global CIR is of little value -- it gives low
+   performance when used alone and typically reduces performance when
+   added to the others".
+
+This ablation evaluates, with ideal reduction on the standard setup:
+XOR (PC xor BHR), concatenation (half PC bits, half BHR bits), the
+global CIR alone, and PC xor BHR xor GCIR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import ConcatIndex, GlobalCIRIndex, XorIndex
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import one_level_pattern_statistics
+
+
+@dataclass(frozen=True)
+class IndexingAblationResult:
+    """Curves for the index-formation variants."""
+
+    curves: Dict[str, ConfidenceCurve]
+    headline_percent: float
+    at_headline: Dict[str, float]
+
+    @property
+    def xor_beats_concat(self) -> bool:
+        return self.at_headline["BHRxorPC"] >= self.at_headline["concat(PC,BHR)"]
+
+    @property
+    def gcir_alone_is_poor(self) -> bool:
+        """GCIR-alone must trail every PC/BHR-based variant."""
+        gcir = self.at_headline["GCIR"]
+        return all(
+            value >= gcir
+            for label, value in self.at_headline.items()
+            if label != "GCIR"
+        )
+
+    @property
+    def gcir_does_not_help(self) -> bool:
+        """Adding GCIR to the best index should not improve it materially."""
+        return (
+            self.at_headline["BHRxorPCxorGCIR"]
+            <= self.at_headline["BHRxorPC"] + 1.0
+        )
+
+    def format(self) -> str:
+        lines = ["Ablation — index formation (ideal reduction)"]
+        for label, value in self.at_headline.items():
+            lines.append(
+                f"{label:18s} captures {value:5.1f}% @ {self.headline_percent:g}%"
+            )
+        lines.append(f"XOR >= concatenation: {self.xor_beats_concat}")
+        lines.append(f"GCIR alone is poor: {self.gcir_alone_is_poor}")
+        lines.append(f"adding GCIR does not help: {self.gcir_does_not_help}")
+        return "\n".join(lines)
+
+    __str__ = format
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> IndexingAblationResult:
+    """Evaluate the four index-formation variants."""
+    bits = config.ct_index_bits
+    half = bits // 2
+    variants = {
+        "BHRxorPC": XorIndex(bits, use_pc=True, use_bhr=True),
+        "concat(PC,BHR)": ConcatIndex(
+            bits, fields=[("bhr", half), ("pc", bits - half)]
+        ),
+        "GCIR": GlobalCIRIndex(bits),
+        "BHRxorPCxorGCIR": XorIndex(bits, use_pc=True, use_bhr=True, use_gcir=True),
+    }
+    curves: Dict[str, ConfidenceCurve] = {}
+    at_headline: Dict[str, float] = {}
+    for label, index_function in variants.items():
+        statistics = one_level_pattern_statistics(
+            config, index_function=index_function
+        )
+        curve = ConfidenceCurve.from_statistics(
+            equal_weight_combine(statistics), name=label
+        )
+        curves[label] = curve
+        at_headline[label] = curve.mispredictions_captured_at(config.headline_percent)
+    return IndexingAblationResult(
+        curves=curves,
+        headline_percent=config.headline_percent,
+        at_headline=at_headline,
+    )

@@ -1,0 +1,149 @@
+"""Ablation — suite and seed robustness of the headline conclusions.
+
+Two robustness questions the paper's setup leaves open:
+
+1. **Suite sensitivity.**  The paper chose IBS over SPEC; would the
+   conclusions change on SPEC-like (user-mode, loop-heavier) programs?
+   This ablation reruns the Fig. 5 comparison on the SPEC-like suite
+   (:mod:`repro.workloads.spec_like`) and checks the index ordering and
+   the dynamic-over-static advantage survive.
+2. **Seed sensitivity.**  Synthetic workloads are stochastic; the
+   headline capture at 20 % is measured over several generation seeds
+   and reported as mean +/- spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import concat_normalized, equal_weight_combine
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import (
+    one_level_pattern_statistics,
+    static_branch_statistics,
+    suite_misprediction_rate,
+)
+from repro.workloads.spec_like import spec_benchmark_names
+
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2)
+
+
+@dataclass(frozen=True)
+class SuiteComparison:
+    """Fig.-5-style headline numbers on one suite."""
+
+    suite_name: str
+    misprediction_rate: float
+    at_headline: Dict[str, float]
+    static_at_headline: float
+
+    @property
+    def ordering_holds(self) -> bool:
+        """PCxorBHR >= BHR >= PC, all above static (small tolerance)."""
+        at = self.at_headline
+        return (
+            at["BHRxorPC"] >= at["BHR"] - 1.0
+            and at["BHR"] >= at["PC"] - 1.0
+            and at["BHRxorPC"] > self.static_at_headline
+        )
+
+
+@dataclass(frozen=True)
+class SuiteSeedResult:
+    """Suite comparison plus per-seed spread of the headline number."""
+
+    ibs: SuiteComparison
+    spec_like: SuiteComparison
+    seed_captures: List[float]
+    headline_percent: float
+
+    @property
+    def seed_mean(self) -> float:
+        return float(np.mean(self.seed_captures))
+
+    @property
+    def seed_spread(self) -> float:
+        return float(np.max(self.seed_captures) - np.min(self.seed_captures))
+
+    @property
+    def conclusions_robust(self) -> bool:
+        return (
+            self.ibs.ordering_holds
+            and self.spec_like.ordering_holds
+            and self.seed_spread < 10.0
+        )
+
+    def format(self) -> str:
+        lines = ["Ablation — suite and seed robustness"]
+        for comparison in (self.ibs, self.spec_like):
+            at = comparison.at_headline
+            lines.append(
+                f"{comparison.suite_name:10s} misprediction "
+                f"{comparison.misprediction_rate:.2%}; @"
+                f"{self.headline_percent:g}%: BHRxorPC {at['BHRxorPC']:.1f} / "
+                f"BHR {at['BHR']:.1f} / PC {at['PC']:.1f} / "
+                f"static {comparison.static_at_headline:.1f} "
+                f"(ordering holds: {comparison.ordering_holds})"
+            )
+        lines.append(
+            f"seeds {self.seed_captures}: mean {self.seed_mean:.1f}, "
+            f"spread {self.seed_spread:.1f} points"
+        )
+        lines.append(f"conclusions robust: {self.conclusions_robust}")
+        return "\n".join(lines)
+
+    __str__ = format
+
+
+def _suite_comparison(config: ExperimentConfig, suite_name: str) -> SuiteComparison:
+    at_headline = {}
+    for kind, label in (("pc", "PC"), ("bhr", "BHR"), ("pc_xor_bhr", "BHRxorPC")):
+        statistics = equal_weight_combine(
+            one_level_pattern_statistics(config, kind)
+        )
+        curve = ConfidenceCurve.from_statistics(statistics, name=label)
+        at_headline[label] = curve.mispredictions_captured_at(
+            config.headline_percent
+        )
+    static_curve = ConfidenceCurve.from_statistics(
+        concat_normalized(static_branch_statistics(config)), name="static"
+    )
+    return SuiteComparison(
+        suite_name=suite_name,
+        misprediction_rate=suite_misprediction_rate(config),
+        at_headline=at_headline,
+        static_at_headline=static_curve.mispredictions_captured_at(
+            config.headline_percent
+        ),
+    )
+
+
+def run(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    seeds: Tuple[int, ...] = DEFAULT_SEEDS,
+) -> SuiteSeedResult:
+    """Compare suites and sweep generation seeds."""
+    ibs = _suite_comparison(config, "IBS")
+    spec_config = config.scaled(benchmarks=tuple(spec_benchmark_names()))
+    spec_like = _suite_comparison(spec_config, "SPEC-like")
+
+    seed_captures: List[float] = []
+    for seed in seeds:
+        seeded = config.scaled(seed=seed)
+        statistics = equal_weight_combine(
+            one_level_pattern_statistics(seeded, "pc_xor_bhr")
+        )
+        curve = ConfidenceCurve.from_statistics(statistics)
+        seed_captures.append(
+            round(curve.mispredictions_captured_at(seeded.headline_percent), 1)
+        )
+    return SuiteSeedResult(
+        ibs=ibs,
+        spec_like=spec_like,
+        seed_captures=seed_captures,
+        headline_percent=config.headline_percent,
+    )

@@ -1,0 +1,61 @@
+"""Shared experiment configuration.
+
+The defaults are the paper's setup: the eight-benchmark suite, the 64K
+gshare predictor (2^16 two-bit counters, 16-bit history), CIR tables with
+2^16 entries of 16-bit CIRs initialized to all ones.  Experiments that
+deviate (Fig. 10's 4K predictor and small tables, Fig. 11's
+initializations) derive modified copies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, benchmark_names
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments."""
+
+    #: Benchmarks included in the composite (paper: the full IBS suite).
+    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
+    #: Dynamic conditional branches simulated per benchmark.
+    trace_length: int = DEFAULT_TRACE_LENGTH
+    #: Workload generation seed.
+    seed: int = 0
+    #: Underlying gshare size (entries of 2-bit counters).
+    predictor_entries: int = 1 << 16
+    #: Underlying gshare global-history width.
+    predictor_history_bits: int = 16
+    #: Confidence-table index width (table has 2**ct_index_bits entries).
+    ct_index_bits: int = 16
+    #: CIR width n.
+    cir_bits: int = 16
+    #: Reference x position for headline numbers (the paper quotes 20 %).
+    headline_percent: float = 20.0
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    @property
+    def small_predictor(self) -> "ExperimentConfig":
+        """The Section 5.3 configuration: 4K gshare, 12-bit history."""
+        return self.scaled(
+            predictor_entries=1 << 12,
+            predictor_history_bits=12,
+            ct_index_bits=12,
+        )
+
+
+#: The paper's default setup.
+DEFAULT_CONFIG = ExperimentConfig()
+
+#: A reduced setup for unit tests and quick smoke runs.
+SMOKE_CONFIG = ExperimentConfig(
+    benchmarks=("jpeg_play", "gcc"),
+    trace_length=12_000,
+)

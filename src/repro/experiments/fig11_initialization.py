@@ -1,0 +1,94 @@
+"""Fig. 11 — the effect of CT initial state.
+
+The ideal one-level method (PC xor BHR, 2^16-entry CT) with four
+initializations (paper Section 5.4):
+
+* ``one`` — all CIR bits set (the paper's default; best);
+* ``zero`` — all bits clear ("does not perform nearly as well": startup
+  mispredictions land in the zero bucket and get high confidence);
+* ``random`` — uniform random patterns (≈ ones);
+* ``lastbit`` — only the oldest bit set (≈ ones; cheap at context
+  switches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import equal_weight_combine
+from repro.core.init_policies import init_lastbit, init_ones, init_random, init_zeros
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import one_level_pattern_statistics
+
+_POLICIES = ("one", "zero", "lastbit", "random")
+
+
+def _initial_patterns(
+    policy: str, entries: int, cir_bits: int, seed: int
+) -> np.ndarray:
+    if policy == "one":
+        return init_ones(entries, cir_bits)
+    if policy == "zero":
+        return init_zeros(entries, cir_bits)
+    if policy == "lastbit":
+        return init_lastbit(entries, cir_bits)
+    if policy == "random":
+        return init_random(entries, cir_bits, seed)
+    raise ValueError(f"unknown init policy {policy!r}")
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """One curve per initialization policy."""
+
+    curves: Dict[str, ConfidenceCurve]
+    headline_percent: float
+    at_headline: Dict[str, float]
+
+    @property
+    def zero_is_worst(self) -> bool:
+        """The paper's finding: all-zeros trails every non-zero policy."""
+        zero = self.at_headline["zero"]
+        return all(
+            self.at_headline[policy] >= zero
+            for policy in self.at_headline
+            if policy != "zero"
+        )
+
+    def format(self) -> str:
+        lines = ["Fig. 11 — CT initialization (BHRxorPC, ideal reduction)"]
+        for policy, value in self.at_headline.items():
+            lines.append(
+                f"init={policy:8s} captures {value:5.1f}% @ "
+                f"{self.headline_percent:g}%"
+            )
+        lines.append(f"all-zeros worst (paper's finding): {self.zero_is_worst}")
+        return "\n".join(lines)
+
+    __str__ = format
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig11Result:
+    """Build one curve per CT initialization policy."""
+    entries = 1 << config.ct_index_bits
+    curves: Dict[str, ConfidenceCurve] = {}
+    at_headline: Dict[str, float] = {}
+    for policy in _POLICIES:
+        patterns = _initial_patterns(policy, entries, config.cir_bits, config.seed)
+        statistics = one_level_pattern_statistics(
+            config, index_kind="pc_xor_bhr", init_patterns=patterns
+        )
+        curve = ConfidenceCurve.from_statistics(
+            equal_weight_combine(statistics), name=policy
+        )
+        curves[policy] = curve
+        at_headline[policy] = curve.mispredictions_captured_at(config.headline_percent)
+    return Fig11Result(
+        curves=curves,
+        headline_percent=config.headline_percent,
+        at_headline=at_headline,
+    )

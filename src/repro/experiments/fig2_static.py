@@ -1,0 +1,63 @@
+"""Fig. 2 — static (profile) confidence over the suite.
+
+The paper sorts all static branches (across benchmarks, each benchmark
+normalized to equal dynamic branch counts) by misprediction rate and
+plots cumulative mispredictions versus cumulative dynamic branches.  The
+marked data point is (25.2, 70.6); at 20 % of dynamic branches about
+63 % of mispredictions are captured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import concat_normalized
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import (
+    static_branch_statistics,
+    suite_misprediction_rate,
+)
+
+#: The paper's reported numbers for this figure.
+PAPER_HEADLINE_AT_20_PERCENT = 63.0
+PAPER_MARKED_POINT = (25.2, 70.6)
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """The static confidence curve plus headline numbers."""
+
+    curve: ConfidenceCurve
+    suite_misprediction_rate: float
+    headline_percent: float
+    mispredictions_at_headline: float
+
+    def format(self) -> str:
+        return (
+            "Fig. 2 — static (profile) confidence\n"
+            f"suite misprediction rate: {self.suite_misprediction_rate:.2%} "
+            f"(paper: 3.85%)\n"
+            f"mispredictions captured @ {self.headline_percent:g}% of branches: "
+            f"{self.mispredictions_at_headline:.1f}% "
+            f"(paper: ~{PAPER_HEADLINE_AT_20_PERCENT:g}%)\n"
+            f"paper's marked point: {PAPER_MARKED_POINT}; ours at x=25.2%: "
+            f"{self.curve.mispredictions_captured_at(25.2):.1f}%"
+        )
+
+    __str__ = format
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig2Result:
+    """Build the static confidence curve for the configured suite."""
+    statistics = static_branch_statistics(config)
+    combined = concat_normalized(statistics)
+    curve = ConfidenceCurve.from_statistics(combined, name="static")
+    return Fig2Result(
+        curve=curve,
+        suite_misprediction_rate=suite_misprediction_rate(config),
+        headline_percent=config.headline_percent,
+        mispredictions_at_headline=curve.mispredictions_captured_at(
+            config.headline_percent
+        ),
+    )

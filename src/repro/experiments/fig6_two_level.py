@@ -1,0 +1,76 @@
+"""Fig. 6 — two-level dynamic confidence methods.
+
+Three representative variants (paper Section 3.2):
+
+* ``PC-CIR`` — PC reads level 1, the level-1 CIR reads level 2;
+* ``BHRxorPC-CIR`` — PC xor BHR reads level 1, CIR reads level 2 (best);
+* ``BHRxorPC-BHRxorCIRxorPC`` — PC xor BHR reads level 1; CIR xor PC xor
+  BHR reads level 2.
+
+The paper finds BHRxorPC-CIR best overall, with the third variant
+slightly ahead only in the 5-10 % region, and (Fig. 7) the whole family
+no better than the best one-level method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import equal_weight_combine
+from repro.experiments import fig2_static
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import two_level_pattern_statistics
+
+#: (first-level index kind, second uses PC, second uses BHR) per label.
+VARIANTS = {
+    "PC-CIR": ("pc", False, False),
+    "BHRxorPC-CIR": ("pc_xor_bhr", False, False),
+    "BHRxorPC-BHRxorCIRxorPC": ("pc_xor_bhr", True, True),
+}
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """One curve per two-level variant plus the static baseline."""
+
+    curves: Dict[str, ConfidenceCurve]
+    static_curve: ConfidenceCurve
+    headline_percent: float
+    at_headline: Dict[str, float]
+
+    def format(self) -> str:
+        lines = ["Fig. 6 — two-level dynamic confidence (ideal reduction)"]
+        for label, value in self.at_headline.items():
+            lines.append(
+                f"{label:26s} captures {value:5.1f}% of mispredictions @ "
+                f"{self.headline_percent:g}%"
+            )
+        return "\n".join(lines)
+
+    __str__ = format
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig6Result:
+    """Build the three two-level curves plus the static baseline."""
+    curves: Dict[str, ConfidenceCurve] = {}
+    at_headline: Dict[str, float] = {}
+    for label, (first_kind, use_pc, use_bhr) in VARIANTS.items():
+        statistics = two_level_pattern_statistics(
+            config,
+            first_index_kind=first_kind,
+            second_use_pc=use_pc,
+            second_use_bhr=use_bhr,
+        )
+        curve = ConfidenceCurve.from_statistics(
+            equal_weight_combine(statistics), name=label
+        )
+        curves[label] = curve
+        at_headline[label] = curve.mispredictions_captured_at(config.headline_percent)
+    return Fig6Result(
+        curves=curves,
+        static_curve=fig2_static.run(config).curve,
+        headline_percent=config.headline_percent,
+        at_headline=at_headline,
+    )

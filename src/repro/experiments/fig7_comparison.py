@@ -1,0 +1,82 @@
+"""Fig. 7 — best one-level vs. best two-level vs. static.
+
+The paper's conclusion from this figure: "the one and two level methods
+give very similar performance.  If anything, the two level method
+performs very slightly worse ... the extra hardware in the second level
+table is not worth the cost."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import equal_weight_combine
+from repro.experiments import fig2_static
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import (
+    one_level_pattern_statistics,
+    two_level_pattern_statistics,
+)
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Best one-level, best two-level, and static curves."""
+
+    one_level: ConfidenceCurve
+    two_level: ConfidenceCurve
+    static: ConfidenceCurve
+    headline_percent: float
+
+    @property
+    def one_level_at_headline(self) -> float:
+        return self.one_level.mispredictions_captured_at(self.headline_percent)
+
+    @property
+    def two_level_at_headline(self) -> float:
+        return self.two_level.mispredictions_captured_at(self.headline_percent)
+
+    @property
+    def static_at_headline(self) -> float:
+        return self.static.mispredictions_captured_at(self.headline_percent)
+
+    @property
+    def one_level_wins(self) -> bool:
+        """True when the one-level method is at least as good as two-level
+        at the headline point (the paper's conclusion)."""
+        return self.one_level_at_headline >= self.two_level_at_headline - 1.0
+
+    def format(self) -> str:
+        return (
+            "Fig. 7 — best one-level vs best two-level vs static\n"
+            f"@{self.headline_percent:g}% of branches: "
+            f"one-level (BHRxorPC) {self.one_level_at_headline:.1f}%  |  "
+            f"two-level (BHRxorPC-CIR) {self.two_level_at_headline:.1f}%  |  "
+            f"static {self.static_at_headline:.1f}%\n"
+            f"one-level >= two-level (paper's conclusion): {self.one_level_wins}"
+        )
+
+    __str__ = format
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig7Result:
+    """Compare the best mechanisms of Figs. 2, 5, and 6."""
+    one_level = ConfidenceCurve.from_statistics(
+        equal_weight_combine(
+            one_level_pattern_statistics(config, index_kind="pc_xor_bhr")
+        ),
+        name="BHRxorPC",
+    )
+    two_level = ConfidenceCurve.from_statistics(
+        equal_weight_combine(
+            two_level_pattern_statistics(config, first_index_kind="pc_xor_bhr")
+        ),
+        name="BHRxorPC-CIR",
+    )
+    return Fig7Result(
+        one_level=one_level,
+        two_level=two_level,
+        static=fig2_static.run(config).curve,
+        headline_percent=config.headline_percent,
+    )

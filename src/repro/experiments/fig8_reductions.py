@@ -1,0 +1,117 @@
+"""Fig. 8 — practical reduction functions on the best one-level method.
+
+Four curves, all with PC xor BHR indexing:
+
+* **ideal** — CIR patterns sorted by observed misprediction rate (the
+  optimistic reduction the practical ones approximate);
+* **ones counting** (``1Cnt``) — popcount of the CIR, 17 buckets;
+* **saturating counters** (``Sat``) — 0..16 up/down counters embedded in
+  the table; the max-count bucket bloats (the paper's noted deficiency);
+* **resetting counters** (``Reset``) — 0..16 count-up/reset counters;
+  tracks the ideal curve closely and shares its zero bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.analysis.buckets import BucketStatistics
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.weighting import equal_weight_combine
+from repro.core.reduction import OnesCountReduction
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.runner import (
+    one_level_pattern_statistics,
+    resetting_counter_statistics,
+    saturating_counter_statistics,
+)
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Ideal, ones-count, saturating, and resetting curves."""
+
+    curves: Dict[str, ConfidenceCurve]
+    headline_percent: float
+    at_headline: Dict[str, float]
+    #: Fraction of mispredictions in the most-confident bucket per method
+    #: ("zero bucket" for ideal/1Cnt/Reset; max-count bucket for Sat).
+    top_bucket_misprediction_percent: Dict[str, float]
+
+    def format(self) -> str:
+        lines = ["Fig. 8 — reduction functions (index: BHRxorPC)"]
+        for label, value in self.at_headline.items():
+            lines.append(
+                f"{label:18s} captures {value:5.1f}% @ {self.headline_percent:g}%  "
+                f"(most-confident bucket holds "
+                f"{self.top_bucket_misprediction_percent[label]:4.1f}% of mispredictions)"
+            )
+        return "\n".join(lines)
+
+    __str__ = format
+
+
+def _ones_count_statistics(
+    config: ExperimentConfig, pattern_statistics: Dict[str, BucketStatistics]
+) -> Dict[str, BucketStatistics]:
+    """Regroup raw pattern statistics by popcount (ones counting)."""
+    reduction = OnesCountReduction(config.cir_bits)
+    mapping = reduction.vectorized(np.arange(1 << config.cir_bits))
+    return {
+        name: stats.regrouped(mapping, num_buckets=reduction.num_buckets)
+        for name, stats in pattern_statistics.items()
+    }
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig8Result:
+    """Build the four reduction-function curves."""
+    pattern_statistics = one_level_pattern_statistics(config, "pc_xor_bhr")
+    maximum = config.cir_bits  # counters count 0..16 for 16-bit CIRs
+
+    ideal = equal_weight_combine(pattern_statistics)
+    ones = equal_weight_combine(_ones_count_statistics(config, pattern_statistics))
+    saturating = equal_weight_combine(
+        saturating_counter_statistics(config, maximum=maximum)
+    )
+    resetting = equal_weight_combine(
+        resetting_counter_statistics(config, maximum=maximum)
+    )
+
+    curves = {
+        "BHRxorPC (ideal)": ConfidenceCurve.from_statistics(
+            ideal, name="BHRxorPC"
+        ),
+        "BHRxorPC.1Cnt": ConfidenceCurve.from_statistics(
+            ones, order=range(maximum, -1, -1), name="BHRxorPC.1Cnt"
+        ),
+        "BHRxorPC.Sat": ConfidenceCurve.from_statistics(
+            saturating, order=range(maximum + 1), name="BHRxorPC.Sat"
+        ),
+        "BHRxorPC.Reset": ConfidenceCurve.from_statistics(
+            resetting, order=range(maximum + 1), name="BHRxorPC.Reset"
+        ),
+    }
+
+    def top_bucket_share(stats: BucketStatistics, bucket: int) -> float:
+        total = stats.total_mispredicts
+        return 100.0 * float(stats.mispredicts[bucket]) / total if total else 0.0
+
+    top_bucket = {
+        "BHRxorPC (ideal)": top_bucket_share(ideal, 0),
+        "BHRxorPC.1Cnt": top_bucket_share(ones, 0),
+        "BHRxorPC.Sat": top_bucket_share(saturating, maximum),
+        "BHRxorPC.Reset": top_bucket_share(resetting, maximum),
+    }
+    at_headline = {
+        label: curve.mispredictions_captured_at(config.headline_percent)
+        for label, curve in curves.items()
+    }
+    return Fig8Result(
+        curves=curves,
+        headline_percent=config.headline_percent,
+        at_headline=at_headline,
+        top_bucket_misprediction_percent=top_bucket,
+    )

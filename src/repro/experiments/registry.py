@@ -1,0 +1,158 @@
+"""Experiment registry: id -> (runner, description).
+
+Used by the CLI (``repro run fig5``) and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablation_context_switch,
+    ablation_counter_width,
+    ablation_indexing,
+    ablation_suite_seed,
+    ablation_trace_length,
+    extension_cost,
+    extension_crossval,
+    extension_metrics,
+    extension_multilevel,
+    extension_pipeline,
+    fig2_static,
+    fig5_one_level,
+    fig6_two_level,
+    fig7_comparison,
+    fig8_reductions,
+    fig9_benchmarks,
+    fig10_small_tables,
+    fig11_initialization,
+    table1_resetting,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    id: str
+    description: str
+    run: Callable
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.id: experiment
+    for experiment in [
+        Experiment(
+            "fig2",
+            "static (profile) confidence curve",
+            fig2_static.run,
+        ),
+        Experiment(
+            "fig5",
+            "one-level dynamic methods: PC / BHR / PCxorBHR vs static",
+            fig5_one_level.run,
+        ),
+        Experiment(
+            "fig6",
+            "two-level dynamic methods",
+            fig6_two_level.run,
+        ),
+        Experiment(
+            "fig7",
+            "best one-level vs best two-level vs static",
+            fig7_comparison.run,
+        ),
+        Experiment(
+            "fig8",
+            "reduction functions: ideal / ones count / saturating / resetting",
+            fig8_reductions.run,
+        ),
+        Experiment(
+            "table1",
+            "resetting counter value statistics",
+            table1_resetting.run,
+        ),
+        Experiment(
+            "fig9",
+            "per-benchmark variation (best vs worst)",
+            fig9_benchmarks.run,
+        ),
+        Experiment(
+            "fig10",
+            "small confidence tables on the 4K predictor",
+            fig10_small_tables.run,
+        ),
+        Experiment(
+            "fig11",
+            "CT initialization policies",
+            fig11_initialization.run,
+        ),
+        Experiment(
+            "ablation-indexing",
+            "XOR vs concatenation vs global-CIR index formation",
+            ablation_indexing.run,
+        ),
+        Experiment(
+            "ablation-counter-width",
+            "resetting counter width sweep",
+            ablation_counter_width.run,
+        ),
+        Experiment(
+            "ablation-context-switch",
+            "CT state across context switches (lastbit conjecture)",
+            ablation_context_switch.run,
+        ),
+        Experiment(
+            "ablation-suite-seed",
+            "robustness: SPEC-like suite comparison + seed sweep",
+            ablation_suite_seed.run,
+        ),
+        Experiment(
+            "ablation-trace-length",
+            "warmup sensitivity: key quantities vs trace length",
+            ablation_trace_length.run,
+        ),
+        Experiment(
+            "extension-cost",
+            "storage cost vs capture for the main mechanisms (paper §5.3)",
+            extension_cost.run,
+        ),
+        Experiment(
+            "extension-multilevel",
+            "multi-level confidence classes (the paper's unpursued generalization)",
+            extension_multilevel.run,
+        ),
+        Experiment(
+            "extension-metrics",
+            "SENS/SPEC/PVP/PVN quality metrics across mechanisms",
+            extension_metrics.run,
+        ),
+        Experiment(
+            "extension-pipeline",
+            "dual-path and SMT gating on the pipeline timing model",
+            extension_pipeline.run,
+        ),
+        Experiment(
+            "extension-crossval",
+            "leave-one-out generalization of the profile-designed reduction",
+            extension_crossval.run,
+        ),
+    ]
+}
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments, in registration order."""
+    return list(EXPERIMENTS.values())
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id; raise ``KeyError`` with guidance."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None

@@ -1,0 +1,193 @@
+"""Shared stream/statistics helpers for the experiment modules.
+
+Everything here runs on the fast path (:mod:`repro.sim.fast`) with the
+predictor sweeps memoized per (benchmark, predictor geometry).  The
+helpers return *per-benchmark* statistics dictionaries; experiments
+combine them with the paper's equal-branch-count weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.analysis.buckets import BucketStatistics
+from repro.core.indexing import IndexFunction, make_index
+from repro.experiments.config import ExperimentConfig
+from repro.sim.cache import cached_predictor_streams
+from repro.sim.fast import (
+    PredictorStreams,
+    cir_pattern_stream,
+    resetting_counter_stream,
+    saturating_counter_stream,
+    two_level_pattern_stream,
+)
+from repro.utils.bits import bit_mask
+
+#: Initial CIR patterns by policy name, resolved per (entries, cir_bits).
+InitSpec = "int | np.ndarray"
+
+
+def suite_streams(config: ExperimentConfig) -> Dict[str, PredictorStreams]:
+    """Predictor streams for every benchmark in the config's suite."""
+    return {
+        name: cached_predictor_streams(
+            name,
+            length=config.trace_length,
+            seed=config.seed,
+            entries=config.predictor_entries,
+            history_bits=config.predictor_history_bits,
+            bhr_record_bits=max(config.predictor_history_bits, config.ct_index_bits),
+        )
+        for name in config.benchmarks
+    }
+
+
+def suite_misprediction_rate(config: ExperimentConfig) -> float:
+    """Equal-weighted suite misprediction rate of the underlying predictor."""
+    rates = [s.misprediction_rate for s in suite_streams(config).values()]
+    return float(np.mean(rates)) if rates else 0.0
+
+
+def ones_init(config: ExperimentConfig) -> int:
+    """The paper's default CT initialization (all CIR bits set)."""
+    return bit_mask(config.cir_bits)
+
+
+def one_level_pattern_statistics(
+    config: ExperimentConfig,
+    index_kind: str = "pc_xor_bhr",
+    init_patterns: Optional[InitSpec] = None,
+    index_function: Optional[IndexFunction] = None,
+) -> Dict[str, BucketStatistics]:
+    """Raw CIR-pattern bucket statistics of a one-level mechanism.
+
+    One entry per benchmark; buckets are the 2**cir_bits CIR patterns.
+    ``index_kind`` picks a paper index ("pc", "bhr", "pc_xor_bhr");
+    ``index_function`` overrides it with an arbitrary
+    :class:`~repro.core.indexing.IndexFunction` (for the ablations).
+    """
+    if init_patterns is None:
+        init_patterns = ones_init(config)
+    if index_function is None:
+        index_function = make_index(index_kind, config.ct_index_bits)
+    statistics: Dict[str, BucketStatistics] = {}
+    for name, streams in suite_streams(config).items():
+        gcirs = _maybe_gcirs(index_function, streams)
+        indices = index_function.vectorized(streams.pcs, streams.bhrs, gcirs)
+        patterns = cir_pattern_stream(
+            indices, streams.correct, config.cir_bits, init_patterns
+        )
+        statistics[name] = BucketStatistics.from_streams(
+            patterns, streams.correct, num_buckets=1 << config.cir_bits
+        )
+    return statistics
+
+
+def _maybe_gcirs(
+    index_function: IndexFunction, streams: PredictorStreams
+) -> np.ndarray:
+    """Global-CIR stream, computed only when the index actually uses it."""
+    if "GCIR" in index_function.name:
+        return streams.gcirs
+    return np.zeros(streams.num_branches, dtype=np.int64)
+
+
+def two_level_pattern_statistics(
+    config: ExperimentConfig,
+    first_index_kind: str,
+    second_use_pc: bool = False,
+    second_use_bhr: bool = False,
+) -> Dict[str, BucketStatistics]:
+    """Second-level CIR-pattern statistics of a two-level mechanism."""
+    first_index = make_index(first_index_kind, config.ct_index_bits)
+    init = ones_init(config)
+    statistics: Dict[str, BucketStatistics] = {}
+    for name, streams in suite_streams(config).items():
+        gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+        level1_indices = first_index.vectorized(streams.pcs, streams.bhrs, gcirs)
+        patterns = two_level_pattern_stream(
+            level1_indices,
+            streams.correct,
+            streams.pcs,
+            streams.bhrs,
+            level1_cir_bits=config.cir_bits,
+            level2_cir_bits=config.cir_bits,
+            second_use_pc=second_use_pc,
+            second_use_bhr=second_use_bhr,
+            level1_init=init,
+            level2_init=init,
+        )
+        statistics[name] = BucketStatistics.from_streams(
+            patterns, streams.correct, num_buckets=1 << config.cir_bits
+        )
+    return statistics
+
+
+def resetting_counter_statistics(
+    config: ExperimentConfig,
+    maximum: int = 16,
+    index_kind: str = "pc_xor_bhr",
+    ct_index_bits: Optional[int] = None,
+) -> Dict[str, BucketStatistics]:
+    """Resetting-counter bucket statistics (buckets = counter values)."""
+    if ct_index_bits is None:
+        ct_index_bits = config.ct_index_bits
+    index_function = make_index(index_kind, ct_index_bits)
+    statistics: Dict[str, BucketStatistics] = {}
+    for name, streams in suite_streams(config).items():
+        gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+        indices = index_function.vectorized(streams.pcs, streams.bhrs, gcirs)
+        values = resetting_counter_stream(indices, streams.correct, maximum=maximum)
+        statistics[name] = BucketStatistics.from_streams(
+            values, streams.correct, num_buckets=maximum + 1
+        )
+    return statistics
+
+
+def saturating_counter_statistics(
+    config: ExperimentConfig,
+    maximum: int = 16,
+    index_kind: str = "pc_xor_bhr",
+) -> Dict[str, BucketStatistics]:
+    """Saturating-counter bucket statistics (buckets = counter values)."""
+    index_function = make_index(index_kind, config.ct_index_bits)
+    statistics: Dict[str, BucketStatistics] = {}
+    for name, streams in suite_streams(config).items():
+        gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+        indices = index_function.vectorized(streams.pcs, streams.bhrs, gcirs)
+        values = saturating_counter_stream(
+            indices,
+            streams.correct,
+            maximum=maximum,
+            table_entries=1 << config.ct_index_bits,
+        )
+        statistics[name] = BucketStatistics.from_streams(
+            values, streams.correct, num_buckets=maximum + 1
+        )
+    return statistics
+
+
+def static_branch_statistics(
+    config: ExperimentConfig,
+) -> Dict[str, BucketStatistics]:
+    """Per-static-branch statistics (buckets = dense per-benchmark PC rank)."""
+    statistics: Dict[str, BucketStatistics] = {}
+    for name, streams in suite_streams(config).items():
+        unique_pcs, inverse = np.unique(streams.pcs, return_inverse=True)
+        statistics[name] = BucketStatistics.from_streams(
+            inverse, streams.correct, num_buckets=unique_pcs.size
+        )
+    return statistics
+
+
+def per_benchmark_map(
+    config: ExperimentConfig,
+    build: Callable[[str, PredictorStreams], BucketStatistics],
+) -> Dict[str, BucketStatistics]:
+    """Apply an arbitrary per-benchmark statistics builder over the suite."""
+    return {
+        name: build(name, streams)
+        for name, streams in suite_streams(config).items()
+    }

@@ -1,0 +1,69 @@
+"""JSON serialization of experiment results.
+
+Experiment results are nested frozen dataclasses holding curves, tables,
+dictionaries, and scalars.  ``result_to_jsonable`` lowers any of them to
+plain JSON-compatible structures (curves become point lists; numpy
+scalars become Python numbers), so ``repro run <id> --json out.json``
+can feed external plotting pipelines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from enum import Enum
+from typing import Any, Union
+
+import numpy as np
+
+from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.table1 import Table1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def result_to_jsonable(value: Any) -> Any:
+    """Recursively lower an experiment result to JSON-compatible data."""
+    if isinstance(value, ConfidenceCurve):
+        return {
+            "name": value.name,
+            "points": [
+                {
+                    "dynamic_percent": point.dynamic_percent,
+                    "misprediction_percent": point.misprediction_percent,
+                    "bucket": point.bucket,
+                    "bucket_rate": point.bucket_rate,
+                }
+                for point in value.points
+            ],
+        }
+    if isinstance(value, Table1):
+        return {"rows": [result_to_jsonable(row) for row in value.rows]}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: result_to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): result_to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [result_to_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return [result_to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def write_result_json(result: Any, path: PathLike) -> None:
+    """Write an experiment result as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(result_to_jsonable(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")

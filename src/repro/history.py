@@ -1,0 +1,82 @@
+"""Global history registers.
+
+Two shift registers shared between the predictor and the confidence
+mechanisms, both paper-defined:
+
+* the **global branch-history register (BHR)** holds the most recent
+  conditional-branch *outcomes* and is used by gshare and by the
+  BHR-indexed confidence tables;
+* the **global Correct/Incorrect Register (global CIR)** holds the most
+  recent prediction *correctness* bits (1 = incorrect, matching the
+  paper's CIR convention).  The paper found indexing confidence tables
+  with it to be "of little value"; it is provided so the ablation in
+  :mod:`repro.experiments.ablation_indexing` can demonstrate exactly that.
+
+In hardware both registers are updated speculatively or at resolve time;
+in this trace-driven study they are updated with resolved values after
+each branch, which is what the paper simulates.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import bit_mask
+from repro.utils.validation import check_positive
+
+
+class ShiftRegister:
+    """A ``width``-bit shift register shifting in at bit 0.
+
+    Bit 0 always holds the most recently shifted value; bit ``width-1``
+    holds the oldest retained value.
+    """
+
+    __slots__ = ("_width", "_mask", "_value")
+
+    def __init__(self, width: int, initial: int = 0) -> None:
+        self._width = check_positive(width, "width")
+        self._mask = bit_mask(width)
+        if not 0 <= initial <= self._mask:
+            raise ValueError(
+                f"initial value {initial} does not fit in {width} bits"
+            )
+        self._value = initial
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """Current register contents as an unsigned integer."""
+        return self._value
+
+    def shift_in(self, bit: int) -> None:
+        """Shift ``bit`` into position 0, discarding the oldest bit."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._value = ((self._value << 1) | bit) & self._mask
+
+    def reset(self, value: int = 0) -> None:
+        """Overwrite the register contents."""
+        if not 0 <= value <= self._mask:
+            raise ValueError(f"value {value} does not fit in {self._width} bits")
+        self._value = value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(width={self._width}, value={self._value:#x})"
+
+
+class GlobalHistoryRegister(ShiftRegister):
+    """Global BHR of recent branch outcomes (1 = taken)."""
+
+    def record_outcome(self, taken: int) -> None:
+        """Shift in a resolved branch direction."""
+        self.shift_in(1 if taken else 0)
+
+
+class GlobalCIR(ShiftRegister):
+    """Global correct/incorrect register (1 = incorrect prediction)."""
+
+    def record_correctness(self, correct: bool) -> None:
+        """Shift in the correctness of the most recent prediction."""
+        self.shift_in(0 if correct else 1)

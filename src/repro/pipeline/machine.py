@@ -1,0 +1,233 @@
+"""Single-thread speculative frontend timing model.
+
+The model tracks fetch *slots* (one instruction per slot,
+``fetch_width`` slots per cycle) along the predicted path:
+
+* every dynamic branch is preceded by a deterministic per-site run of
+  non-branch instructions (its *fetch block*);
+* a branch resolves ``resolve_latency`` cycles after the cycle it was
+  fetched in;
+* on a misprediction, every slot fetched after the branch and before its
+  resolution is squashed, and fetch redirects at the resolution cycle
+  plus ``redirect_penalty``;
+* with a :class:`DualPathPolicy`, a branch flagged low-confidence at
+  fetch time (and no other fork outstanding) forks: until it resolves, a
+  secondary fetch port of ``alternate_width`` slots/cycle follows the
+  non-predicted path (the paper's premise: dual-path uses resources that
+  "would be unused anyway"), stealing ``fork_primary_loss`` of the
+  primary port's bandwidth (cache-port contention).  A mispredicted
+  forked branch pays no redirect and resumes *ahead* by the
+  alternate-path instructions already fetched; the primary slots spent
+  past it are squashed.  A correctly-predicted forked branch squashes
+  the alternate-path slots instead.
+
+Time is accounted per fetch block (not per cycle) with fractional-cycle
+precision, which keeps full-suite runs in seconds while preserving the
+bandwidth/latency trade-offs the applications measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+from repro.core.threshold import ThresholdConfidence
+from repro.predictors.base import BranchPredictor
+from repro.traces.trace import Trace
+from repro.utils.bits import bit_mask
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Geometry and latencies of the modelled frontend."""
+
+    #: Instructions fetched per cycle along one path.
+    fetch_width: int = 4
+    #: Cycles from a branch's fetch to its resolution.
+    resolve_latency: int = 8
+    #: Extra cycles to redirect fetch after a (non-forked) misprediction.
+    redirect_penalty: int = 1
+    #: Deterministic per-site fetch-block sizing: a branch at ``pc`` is
+    #: preceded by ``min_block + (pc >> 2) % block_spread`` instructions.
+    min_block: int = 2
+    block_spread: int = 6
+    #: Secondary-port bandwidth used by a forked alternate path
+    #: (slots/cycle); the paper assumes spare machine resources.
+    alternate_width: float = 2.0
+    #: Fraction of primary fetch bandwidth lost while a fork is
+    #: outstanding (models port/cache contention with the alternate path).
+    fork_primary_loss: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive(self.fetch_width, "fetch_width")
+        check_positive(self.resolve_latency, "resolve_latency")
+        check_positive(self.min_block, "min_block")
+        check_positive(self.block_spread, "block_spread")
+        if self.redirect_penalty < 0:
+            raise ValueError("redirect_penalty must be non-negative")
+        if self.alternate_width < 0:
+            raise ValueError("alternate_width must be non-negative")
+        if not 0.0 <= self.fork_primary_loss < 1.0:
+            raise ValueError("fork_primary_loss must be within [0, 1)")
+
+    def block_size(self, pc: int) -> int:
+        """Instructions in the fetch block ending at the branch at ``pc``
+        (the non-branch run plus the branch itself)."""
+        return self.min_block + (pc >> 2) % self.block_spread + 1
+
+
+@dataclass(frozen=True)
+class DualPathPolicy:
+    """Fork-both-paths policy driven by a binary confidence signal."""
+
+    confidence: ThresholdConfidence
+    #: At most this many forks may be outstanding (the paper's selective
+    #: dual-path discussion assumes a two-thread limit, i.e. one fork).
+    max_outstanding_forks: int = 1
+
+
+@dataclass(frozen=True)
+class FrontendReport:
+    """Timing outcome of one frontend run."""
+
+    cycles: float
+    retired_instructions: int
+    squashed_slots: float
+    branches: int
+    mispredictions: int
+    forks: int
+    covered_mispredictions: int
+
+    @property
+    def ipc(self) -> float:
+        """Retired (correct-path) instructions per cycle."""
+        return self.retired_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def fork_fraction(self) -> float:
+        return self.forks / self.branches if self.branches else 0.0
+
+    @property
+    def misprediction_coverage(self) -> float:
+        if self.mispredictions == 0:
+            return 0.0
+        return self.covered_mispredictions / self.mispredictions
+
+    def speedup_over(self, baseline: "FrontendReport") -> float:
+        """IPC ratio of this run over ``baseline``."""
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+
+class SpeculativeFrontend:
+    """Drives a predictor (and optional dual-path policy) over a trace."""
+
+    def __init__(
+        self,
+        predictor: BranchPredictor,
+        config: FrontendConfig = FrontendConfig(),
+        dual_path: Optional[DualPathPolicy] = None,
+        history_bits: int = 16,
+    ) -> None:
+        self._predictor = predictor
+        self._config = config
+        self._dual_path = dual_path
+        self._history_mask = bit_mask(history_bits)
+
+    def run(self, trace: Trace) -> FrontendReport:
+        """Simulate the frontend over ``trace`` and report timing."""
+        config = self._config
+        predictor = self._predictor
+        policy = self._dual_path
+        width = float(config.fetch_width)
+        resolve_latency = float(config.resolve_latency)
+        redirect_penalty = float(config.redirect_penalty)
+
+        clock = 0.0                  # fetch-time in cycles (fractional)
+        retired = 0
+        squashed = 0.0
+        mispredictions = 0
+        forks = 0
+        covered = 0
+        #: Resolution time of the currently outstanding fork, if any.
+        fork_resolves_at: Optional[float] = None
+        bhr = 0
+
+        alternate_width = float(config.alternate_width)
+        primary_loss = float(config.fork_primary_loss)
+
+        pcs = trace.pcs.tolist()
+        outcomes = trace.outcomes.tolist()
+        for pc, outcome in zip(pcs, outcomes):
+            block = config.block_size(pc)
+            # While a fork is outstanding, the primary port runs slightly
+            # degraded (the alternate path contends for cache bandwidth).
+            if fork_resolves_at is not None and clock < fork_resolves_at:
+                effective_width = width * (1.0 - primary_loss)
+            else:
+                effective_width = width
+                fork_resolves_at = None
+            fetch_cycles = block / effective_width
+            fetch_done = clock + fetch_cycles
+
+            prediction = predictor.predict(pc, bhr)
+            correct = prediction == outcome
+
+            fork_this = False
+            if policy is not None and fork_resolves_at is None:
+                signal = policy.confidence.signal(pc, bhr, 0)
+                if signal == 0:  # LOW confidence
+                    fork_this = True
+            if policy is not None:
+                policy.confidence.update(pc, bhr, 0, correct)
+
+            retired += block
+            if fork_this:
+                forks += 1
+                resolve_at = fetch_done + resolve_latency
+                #: Correct-path slots the alternate port banks during the
+                #: speculation window.
+                alternate_slots = alternate_width * resolve_latency
+                if correct:
+                    # The alternate-path slots were down the wrong path.
+                    squashed += alternate_slots
+                    fork_resolves_at = resolve_at
+                    clock = fetch_done
+                else:
+                    mispredictions += 1
+                    covered += 1
+                    # The primary path past the branch was wrong: its slots
+                    # during the window are squashed.  The alternate path
+                    # already fetched ``alternate_slots`` of correct path,
+                    # so fetch resumes *ahead* by that many slots — and
+                    # without a redirect penalty.
+                    squashed += effective_width * resolve_latency
+                    head_start = min(
+                        alternate_slots / width, resolve_latency
+                    )
+                    clock = resolve_at - head_start
+                    fork_resolves_at = None
+            elif correct:
+                clock = fetch_done
+            else:
+                mispredictions += 1
+                resolve_at = fetch_done + resolve_latency
+                # All slots fetched between this branch and its resolution
+                # go down the wrong path.
+                squashed += effective_width * resolve_latency
+                clock = resolve_at + redirect_penalty
+                fork_resolves_at = None
+
+            predictor.update(pc, bhr, outcome)
+            bhr = ((bhr << 1) | outcome) & self._history_mask
+
+        return FrontendReport(
+            cycles=clock,
+            retired_instructions=retired,
+            squashed_slots=squashed,
+            branches=len(trace),
+            mispredictions=mispredictions,
+            forks=forks,
+            covered_mispredictions=covered,
+        )

@@ -1,0 +1,191 @@
+"""Multi-thread (SMT) fetch arbitration with confidence gating.
+
+N threads share one fetch port.  Each thread runs its own trace,
+predictor, and (optionally) confidence estimator.  The arbiter grants
+the port block-by-block to the ready thread that has been waiting
+longest (round-robin by readiness time).
+
+Thread semantics per grant:
+
+* fetching a block occupies the port for ``block / fetch_width`` cycles;
+* a branch resolves ``resolve_latency`` cycles after its block's fetch;
+* **ungated**: threads keep fetching speculatively past unresolved
+  branches; blocks fetched after a branch that later resolves
+  mispredicted are wrong-path — they occupy the port and are squashed,
+  and the thread refetches them after the resolution;
+* **gated**: after fetching a branch whose confidence signal is LOW, a
+  thread removes itself from arbitration until that branch resolves.
+  Covered mispredictions waste no port time; the price is the lost
+  overlap when a gated branch was in fact predicted correctly — which
+  other threads absorb, exactly the paper's application 2 argument.
+
+The model answers the throughput question: how many useful instructions
+per port-cycle does each policy sustain over the same work?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.threshold import ThresholdConfidence
+from repro.pipeline.machine import FrontendConfig
+from repro.predictors.base import BranchPredictor
+from repro.traces.trace import Trace
+from repro.utils.bits import bit_mask
+
+
+@dataclass(frozen=True)
+class SMTConfig:
+    """Shared-port geometry (reuses the frontend block/latency model)."""
+
+    frontend: FrontendConfig = FrontendConfig()
+    #: Gate fetch behind low-confidence branches when estimators are given.
+    gate_on_low_confidence: bool = False
+
+
+@dataclass(frozen=True)
+class SMTReport:
+    """Throughput outcome of one arbitration run."""
+
+    total_cycles: float
+    useful_instructions: int
+    squashed_slots: float
+    per_thread_cycles: List[float]
+    gated_stalls: int
+
+    @property
+    def throughput(self) -> float:
+        """Useful instructions per port-cycle."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.useful_instructions / self.total_cycles
+
+    @property
+    def waste_fraction(self) -> float:
+        total = self.useful_instructions + self.squashed_slots
+        return self.squashed_slots / total if total else 0.0
+
+
+class _Thread:
+    """Arbitration state of one hardware thread."""
+
+    __slots__ = (
+        "pcs", "outcomes", "position", "predictor", "confidence",
+        "bhr", "ready_at", "barrier", "done", "finish_time",
+    )
+
+    def __init__(
+        self,
+        trace: Trace,
+        predictor: BranchPredictor,
+        confidence: Optional[ThresholdConfidence],
+    ) -> None:
+        self.pcs = trace.pcs.tolist()
+        self.outcomes = trace.outcomes.tolist()
+        self.position = 0
+        self.predictor = predictor
+        self.confidence = confidence
+        self.bhr = 0
+        self.ready_at = 0.0
+        #: Resolution time of the oldest unresolved *mispredicted* branch;
+        #: blocks fetched before it are wrong-path.
+        self.barrier: Optional[float] = None
+        self.done = len(self.pcs) == 0
+        self.finish_time = 0.0
+
+
+def simulate_smt(
+    traces: Sequence[Trace],
+    predictors: Sequence[BranchPredictor],
+    confidences: Optional[Sequence[ThresholdConfidence]] = None,
+    config: SMTConfig = SMTConfig(),
+    history_bits: int = 16,
+) -> SMTReport:
+    """Run the shared-fetch-port arbitration to completion."""
+    if len(traces) != len(predictors):
+        raise ValueError("need one predictor per trace")
+    if confidences is not None and len(confidences) != len(traces):
+        raise ValueError("need one confidence estimator per trace")
+    if config.gate_on_low_confidence and confidences is None:
+        raise ValueError("gating requires confidence estimators")
+    if not traces:
+        raise ValueError("need at least one thread")
+
+    frontend = config.frontend
+    width = float(frontend.fetch_width)
+    resolve_latency = float(frontend.resolve_latency)
+    history_mask = bit_mask(history_bits)
+
+    threads = [
+        _Thread(
+            trace,
+            predictor,
+            None if confidences is None else confidences[index],
+        )
+        for index, (trace, predictor) in enumerate(zip(traces, predictors))
+    ]
+
+    port_free = 0.0
+    useful = 0
+    squashed = 0.0
+    gated_stalls = 0
+
+    active = [t for t in threads if not t.done]
+    while active:
+        # Round-robin by readiness: the ready thread that has waited
+        # longest (smallest ready_at) wins the port.
+        thread = min(active, key=lambda t: t.ready_at)
+        start = max(port_free, thread.ready_at)
+        pc = thread.pcs[thread.position]
+        block = frontend.block_size(pc)
+        busy = block / width
+        port_free = start + busy
+
+        if thread.barrier is not None and start < thread.barrier:
+            # Wrong-path fetch: burns the port, retires nothing, and the
+            # thread stays on the same architectural branch.
+            squashed += block
+            thread.ready_at = port_free
+            continue
+        thread.barrier = None
+
+        outcome = thread.outcomes[thread.position]
+        prediction = thread.predictor.predict(pc, thread.bhr)
+        correct = prediction == outcome
+        resolve_at = port_free + resolve_latency
+
+        gate = False
+        if thread.confidence is not None:
+            signal = thread.confidence.signal(pc, thread.bhr, 0)
+            gate = config.gate_on_low_confidence and signal == 0
+            thread.confidence.update(pc, thread.bhr, 0, correct)
+        thread.predictor.update(pc, thread.bhr, outcome)
+        thread.bhr = ((thread.bhr << 1) | outcome) & history_mask
+
+        useful += block
+        thread.position += 1
+        if thread.position >= len(thread.pcs):
+            thread.done = True
+            thread.finish_time = resolve_at
+            active = [t for t in active if not t.done]
+            continue
+
+        if gate:
+            gated_stalls += 1
+            thread.ready_at = resolve_at
+        else:
+            thread.ready_at = port_free
+            if not correct:
+                thread.barrier = resolve_at
+
+    total_cycles = max(
+        [port_free] + [thread.finish_time for thread in threads]
+    )
+    return SMTReport(
+        total_cycles=total_cycles,
+        useful_instructions=useful,
+        squashed_slots=squashed,
+        per_thread_cycles=[thread.finish_time for thread in threads],
+        gated_stalls=gated_stalls,
+    )

@@ -1,0 +1,45 @@
+"""Branch predictor substrate.
+
+The paper's confidence mechanisms sit on top of a conventional dynamic
+branch predictor; the predictor's correct/incorrect stream is the input to
+every confidence estimator.  This package implements the paper's predictor
+(gshare, both the 64K-entry and 4K-entry configurations) plus the standard
+family needed by the hybrid-selector application and the baselines:
+static, bimodal, gselect, a two-level local (PAg) predictor, and a
+McFarling-style hybrid with a chooser table.
+
+All predictors share the :class:`~repro.predictors.base.BranchPredictor`
+interface: ``predict(pc, bhr)`` / ``update(pc, bhr, outcome)``, where
+``bhr`` is the engine-owned global branch history register value.
+"""
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.configs import (
+    PAPER_LARGE_GSHARE,
+    PAPER_SMALL_GSHARE,
+    GshareConfig,
+    make_paper_predictor,
+)
+from repro.predictors.counters import SaturatingCounter, TwoBitCounterTable
+from repro.predictors.gselect import GselectPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.hybrid import HybridPredictor
+from repro.predictors.local import LocalPredictor
+from repro.predictors.static import StaticPredictor
+
+__all__ = [
+    "BranchPredictor",
+    "SaturatingCounter",
+    "TwoBitCounterTable",
+    "StaticPredictor",
+    "BimodalPredictor",
+    "GsharePredictor",
+    "GselectPredictor",
+    "LocalPredictor",
+    "HybridPredictor",
+    "GshareConfig",
+    "PAPER_LARGE_GSHARE",
+    "PAPER_SMALL_GSHARE",
+    "make_paper_predictor",
+]

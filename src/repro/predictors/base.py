@@ -1,0 +1,42 @@
+"""The branch predictor interface.
+
+Predictors are deliberately passive about global history: the simulation
+engine owns the global BHR (it is shared with the confidence mechanisms,
+exactly as in the paper's Fig. 3/4 block diagrams) and passes its current
+value to both ``predict`` and ``update``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract conditional-branch direction predictor."""
+
+    @abc.abstractmethod
+    def predict(self, pc: int, bhr: int) -> int:
+        """Return the predicted direction (1 = taken) for the branch at ``pc``.
+
+        Must not mutate predictor state: trace-driven simulation calls
+        ``predict`` then ``update`` for every dynamic branch, and the
+        confidence mechanisms are interposed between the two.
+        """
+
+    @abc.abstractmethod
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        """Train the predictor with the resolved direction of the branch."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Restore the predictor to its initial (power-on) state."""
+
+    @property
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Hardware cost of the predictor state, in bits.
+
+        Used by the cost discussions mirrored from the paper's Section 5.3
+        (e.g. "the cost of the confidence method is twice the underlying
+        predictor").
+        """

@@ -1,0 +1,44 @@
+"""Bimodal (per-PC two-bit counter) predictor.
+
+The classic Smith predictor: a table of 2-bit saturating counters indexed
+by low PC bits.  It serves as the history-free component of the
+McFarling-style hybrid and as a weak baseline.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import WEAKLY_TAKEN, TwoBitCounterTable
+from repro.utils.bits import log2_exact
+
+#: Instructions are 4-byte aligned; PC bits 1:0 carry no index information.
+PC_ALIGNMENT_BITS = 2
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit counter predictor."""
+
+    def __init__(self, entries: int = 4096, initial: int = WEAKLY_TAKEN) -> None:
+        self._table = TwoBitCounterTable(entries, initial)
+        self._index_bits = log2_exact(entries)
+        self._index_mask = entries - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc >> PC_ALIGNMENT_BITS) & self._index_mask
+
+    def predict(self, pc: int, bhr: int) -> int:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        self._table.train(self._index(pc), outcome)
+
+    def reset(self) -> None:
+        self._table.reset()
+
+    @property
+    def entries(self) -> int:
+        return len(self._table)
+
+    @property
+    def storage_bits(self) -> int:
+        return self._table.storage_bits

@@ -1,0 +1,123 @@
+"""Saturating counters and counter tables.
+
+The two-bit saturating counter is the workhorse state element of dynamic
+branch prediction (Smith, 1981) and of the paper's underlying gshare
+predictor.  ``SaturatingCounter`` is a general n-state up/down counter —
+also reused by the confidence reduction functions, which need 0..16
+counters (:mod:`repro.core.reduction`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in_range, check_positive, check_power_of_two
+
+#: Conventional 2-bit counter states.
+STRONGLY_NOT_TAKEN = 0
+WEAKLY_NOT_TAKEN = 1
+WEAKLY_TAKEN = 2
+STRONGLY_TAKEN = 3
+
+
+class SaturatingCounter:
+    """An up/down counter saturating at ``[0, maximum]``.
+
+    >>> c = SaturatingCounter(maximum=3, initial=2)
+    >>> c.increment()
+    3
+    >>> c.increment()
+    3
+    >>> c.decrement()
+    2
+    """
+
+    __slots__ = ("_maximum", "_value")
+
+    def __init__(self, maximum: int, initial: int = 0) -> None:
+        self._maximum = check_positive(maximum, "maximum")
+        self._value = check_in_range(initial, 0, maximum, "initial")
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def maximum(self) -> int:
+        return self._maximum
+
+    def increment(self) -> int:
+        """Count up by one, saturating at the maximum; return the new value."""
+        if self._value < self._maximum:
+            self._value += 1
+        return self._value
+
+    def decrement(self) -> int:
+        """Count down by one, saturating at zero; return the new value."""
+        if self._value > 0:
+            self._value -= 1
+        return self._value
+
+    def reset(self, value: int = 0) -> None:
+        """Force the counter to ``value``."""
+        self._value = check_in_range(value, 0, self._maximum, "value")
+
+    @property
+    def is_saturated(self) -> bool:
+        return self._value == self._maximum
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(value={self._value}, maximum={self._maximum})"
+
+
+class TwoBitCounterTable:
+    """A power-of-two array of 2-bit saturating counters (numpy-backed).
+
+    The paper initializes the branch predictor table to "weakly taken",
+    which is the default here.
+
+    The direction predicted by a counter is its high bit
+    (``value >= WEAKLY_TAKEN``).
+    """
+
+    def __init__(self, entries: int, initial: int = WEAKLY_TAKEN) -> None:
+        self._entries = check_power_of_two(entries, "entries")
+        self._initial = check_in_range(initial, 0, 3, "initial")
+        self._table = np.full(entries, self._initial, dtype=np.uint8)
+
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def index_bits(self) -> int:
+        return self._entries.bit_length() - 1
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * self._entries
+
+    def counter(self, index: int) -> int:
+        """Raw 2-bit counter value at ``index``."""
+        return int(self._table[index])
+
+    def predict(self, index: int) -> int:
+        """Predicted direction at ``index`` (1 = taken)."""
+        return int(self._table[index] >= WEAKLY_TAKEN)
+
+    def train(self, index: int, outcome: int) -> None:
+        """Move the counter at ``index`` toward ``outcome``."""
+        value = self._table[index]
+        if outcome:
+            if value < STRONGLY_TAKEN:
+                self._table[index] = value + 1
+        else:
+            if value > STRONGLY_NOT_TAKEN:
+                self._table[index] = value - 1
+
+    def reset(self) -> None:
+        """Restore every counter to the configured initial state."""
+        self._table.fill(self._initial)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the raw counter array (for inspection/tests)."""
+        return self._table.copy()

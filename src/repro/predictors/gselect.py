@@ -1,0 +1,51 @@
+"""The gselect predictor — concatenated PC and global history index.
+
+Included because the paper contrasts XOR with concatenation when forming
+confidence-table indices ("exclusive-ORing is more effective than
+concatenating sub-fields"); gselect is the predictor-side analogue and
+gives the indexing ablation a like-for-like baseline.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import PC_ALIGNMENT_BITS
+from repro.predictors.counters import WEAKLY_TAKEN, TwoBitCounterTable
+from repro.utils.bits import bit_mask, log2_exact
+from repro.utils.validation import check_in_range
+
+
+class GselectPredictor(BranchPredictor):
+    """Two-bit counter table indexed by {PC bits, BHR bits} concatenated."""
+
+    def __init__(
+        self,
+        entries: int = 1 << 16,
+        history_bits: int = 8,
+        initial: int = WEAKLY_TAKEN,
+    ) -> None:
+        self._table = TwoBitCounterTable(entries, initial)
+        index_bits = log2_exact(entries)
+        check_in_range(history_bits, 0, index_bits, "history_bits")
+        self._history_bits = history_bits
+        self._pc_bits = index_bits - history_bits
+        self._pc_mask = bit_mask(self._pc_bits)
+        self._history_mask = bit_mask(history_bits)
+
+    def index(self, pc: int, bhr: int) -> int:
+        """Index = PC slice in the high bits, history in the low bits."""
+        pc_part = (pc >> PC_ALIGNMENT_BITS) & self._pc_mask
+        return (pc_part << self._history_bits) | (bhr & self._history_mask)
+
+    def predict(self, pc: int, bhr: int) -> int:
+        return self._table.predict(self.index(pc, bhr))
+
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        self._table.train(self.index(pc, bhr), outcome)
+
+    def reset(self) -> None:
+        self._table.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return self._table.storage_bits

@@ -1,0 +1,71 @@
+"""The gshare predictor (McFarling, 1993) — the paper's underlying predictor.
+
+A table of 2-bit saturating counters indexed by the XOR of low PC bits and
+the global branch history register.  The paper's two configurations:
+
+* **large** — 2^16 entries, indexed with PC bits 17..2 XOR a 16-bit BHR;
+* **small** — 4K (2^12) entries, PC bits 13..2 XOR a 12-bit BHR.
+
+Both are expressible here via ``entries`` and ``history_bits``; see
+:mod:`repro.predictors.configs` for the ready-made paper configurations.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import PC_ALIGNMENT_BITS
+from repro.predictors.counters import WEAKLY_TAKEN, TwoBitCounterTable
+from repro.utils.bits import bit_mask, log2_exact
+from repro.utils.validation import check_in_range
+
+
+class GsharePredictor(BranchPredictor):
+    """Global-history XOR-indexed two-bit counter predictor."""
+
+    def __init__(
+        self,
+        entries: int = 1 << 16,
+        history_bits: int = None,  # type: ignore[assignment]
+        initial: int = WEAKLY_TAKEN,
+    ) -> None:
+        self._table = TwoBitCounterTable(entries, initial)
+        self._index_bits = log2_exact(entries)
+        if history_bits is None:
+            history_bits = self._index_bits
+        check_in_range(history_bits, 0, self._index_bits, "history_bits")
+        self._history_bits = history_bits
+        self._index_mask = entries - 1
+        self._history_mask = bit_mask(history_bits)
+
+    def index(self, pc: int, bhr: int) -> int:
+        """Table index: (PC >> 2) XOR (low ``history_bits`` of the BHR).
+
+        Exposed publicly because the paper's confidence tables are accessed
+        "the same way as the gshare predictor" (Section 5.3).
+        """
+        return ((pc >> PC_ALIGNMENT_BITS) ^ (bhr & self._history_mask)) & self._index_mask
+
+    def predict(self, pc: int, bhr: int) -> int:
+        return self._table.predict(self.index(pc, bhr))
+
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        self._table.train(self.index(pc, bhr), outcome)
+
+    def reset(self) -> None:
+        self._table.reset()
+
+    @property
+    def entries(self) -> int:
+        return len(self._table)
+
+    @property
+    def history_bits(self) -> int:
+        return self._history_bits
+
+    @property
+    def storage_bits(self) -> int:
+        return self._table.storage_bits
+
+    def counter_snapshot(self):
+        """Copy of the raw counter array (for tests and the fast engine)."""
+        return self._table.snapshot()

@@ -1,0 +1,80 @@
+"""McFarling-style hybrid (combining) predictor.
+
+Two component predictors plus a chooser table of 2-bit counters indexed by
+PC.  The chooser counts which component has been more accurate for each
+entry and selects that component's prediction.
+
+The paper's application 3 proposes replacing the ad-hoc chooser with a
+pair of confidence mechanisms (`repro.apps.hybrid_selector`); this class
+is the baseline that proposal is measured against.
+"""
+
+from __future__ import annotations
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import PC_ALIGNMENT_BITS
+from repro.predictors.counters import TwoBitCounterTable
+from repro.utils.bits import log2_exact
+
+#: Chooser counter semantics: >= 2 selects component ``first``.
+_CHOOSER_NEUTRAL = 2
+
+
+class HybridPredictor(BranchPredictor):
+    """Two predictors arbitrated by a 2-bit chooser table."""
+
+    def __init__(
+        self,
+        first: BranchPredictor,
+        second: BranchPredictor,
+        chooser_entries: int = 4096,
+    ) -> None:
+        self._first = first
+        self._second = second
+        self._chooser = TwoBitCounterTable(chooser_entries, initial=_CHOOSER_NEUTRAL)
+        self._chooser_mask = chooser_entries - 1
+        log2_exact(chooser_entries)
+
+    def _chooser_index(self, pc: int) -> int:
+        return (pc >> PC_ALIGNMENT_BITS) & self._chooser_mask
+
+    def components(self) -> "tuple[BranchPredictor, BranchPredictor]":
+        """The two component predictors (first, second)."""
+        return self._first, self._second
+
+    def selected_component(self, pc: int) -> int:
+        """Which component the chooser currently selects at ``pc`` (0 or 1)."""
+        return 0 if self._chooser.counter(self._chooser_index(pc)) >= _CHOOSER_NEUTRAL else 1
+
+    def predict(self, pc: int, bhr: int) -> int:
+        if self.selected_component(pc) == 0:
+            return self._first.predict(pc, bhr)
+        return self._second.predict(pc, bhr)
+
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        first_prediction = self._first.predict(pc, bhr)
+        second_prediction = self._second.predict(pc, bhr)
+        first_correct = first_prediction == outcome
+        second_correct = second_prediction == outcome
+        index = self._chooser_index(pc)
+        # Train the chooser only when the components disagree in correctness,
+        # per McFarling: move toward the component that was right.
+        if first_correct and not second_correct:
+            self._chooser.train(index, 1)
+        elif second_correct and not first_correct:
+            self._chooser.train(index, 0)
+        self._first.update(pc, bhr, outcome)
+        self._second.update(pc, bhr, outcome)
+
+    def reset(self) -> None:
+        self._first.reset()
+        self._second.reset()
+        self._chooser.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self._first.storage_bits
+            + self._second.storage_bits
+            + self._chooser.storage_bits
+        )

@@ -1,0 +1,61 @@
+"""Two-level local-history (PAg-style) predictor (Yeh & Patt, 1991).
+
+A per-branch history table records each static branch's own recent
+outcomes; the pattern indexes a shared table of 2-bit counters.  Included
+as a hybrid component with behaviour complementary to gshare: it excels on
+per-branch periodic patterns, which is exactly what the hybrid-selector
+application needs to make selection interesting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import PC_ALIGNMENT_BITS
+from repro.predictors.counters import WEAKLY_TAKEN, TwoBitCounterTable
+from repro.utils.bits import bit_mask
+from repro.utils.validation import check_in_range, check_power_of_two
+
+
+class LocalPredictor(BranchPredictor):
+    """PAg: per-address history registers, global pattern counter table."""
+
+    def __init__(
+        self,
+        history_entries: int = 1024,
+        history_bits: int = 10,
+        initial: int = WEAKLY_TAKEN,
+    ) -> None:
+        check_power_of_two(history_entries, "history_entries")
+        check_in_range(history_bits, 1, 20, "history_bits")
+        self._history_entries = history_entries
+        self._history_bits = history_bits
+        self._history_mask = bit_mask(history_bits)
+        self._histories = np.zeros(history_entries, dtype=np.uint32)
+        self._pattern_table = TwoBitCounterTable(1 << history_bits, initial)
+        self._bht_index_mask = history_entries - 1
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> PC_ALIGNMENT_BITS) & self._bht_index_mask
+
+    def predict(self, pc: int, bhr: int) -> int:
+        pattern = int(self._histories[self._history_index(pc)])
+        return self._pattern_table.predict(pattern)
+
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        history_index = self._history_index(pc)
+        pattern = int(self._histories[history_index])
+        self._pattern_table.train(pattern, outcome)
+        self._histories[history_index] = ((pattern << 1) | outcome) & self._history_mask
+
+    def reset(self) -> None:
+        self._histories.fill(0)
+        self._pattern_table.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self._history_entries * self._history_bits
+            + self._pattern_table.storage_bits
+        )

@@ -1,0 +1,80 @@
+"""Static (non-adaptive) predictors.
+
+Used as baselines and by the hybrid application.  Three policies:
+
+* ``always_taken`` / ``always_not_taken`` — fixed direction;
+* ``btfnt`` — backward-taken/forward-not-taken.  Our synthetic traces do
+  not carry branch targets, so "backward" is modelled by a per-site flag
+  supplied through ``backward_pcs`` (the workload layer knows which of its
+  sites are loop back-edges);
+* ``profile`` — per-site majority direction from a training trace, the
+  classic profile-guided static predictor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional
+
+import numpy as np
+
+from repro.predictors.base import BranchPredictor
+from repro.traces.trace import Trace
+
+_POLICIES = ("always_taken", "always_not_taken", "btfnt", "profile")
+
+
+class StaticPredictor(BranchPredictor):
+    """A predictor whose prediction for a PC never changes at run time."""
+
+    def __init__(
+        self,
+        policy: str = "always_taken",
+        backward_pcs: Optional[Iterable[int]] = None,
+        profile_directions: Optional[Dict[int, int]] = None,
+    ) -> None:
+        if policy not in _POLICIES:
+            raise ValueError(f"policy must be one of {_POLICIES}, got {policy!r}")
+        if policy == "profile" and profile_directions is None:
+            raise ValueError("profile policy requires profile_directions")
+        self._policy = policy
+        self._backward: FrozenSet[int] = frozenset(backward_pcs or ())
+        self._profile = dict(profile_directions or {})
+
+    @classmethod
+    def from_profile(cls, trace: Trace) -> "StaticPredictor":
+        """Build a profile-guided predictor from a training trace.
+
+        Each static branch predicts its majority direction in ``trace``;
+        unseen branches fall back to taken.
+        """
+        unique_pcs, inverse = np.unique(trace.pcs, return_inverse=True)
+        executions = np.bincount(inverse, minlength=unique_pcs.size)
+        takens = np.bincount(
+            inverse, weights=trace.outcomes.astype(np.int64), minlength=unique_pcs.size
+        )
+        directions = {
+            int(pc): int(taken * 2 >= execs)
+            for pc, taken, execs in zip(unique_pcs, takens, executions)
+        }
+        return cls(policy="profile", profile_directions=directions)
+
+    def predict(self, pc: int, bhr: int) -> int:
+        if self._policy == "always_taken":
+            return 1
+        if self._policy == "always_not_taken":
+            return 0
+        if self._policy == "btfnt":
+            return 1 if pc in self._backward else 0
+        return self._profile.get(pc, 1)
+
+    def update(self, pc: int, bhr: int, outcome: int) -> None:
+        """Static predictors do not learn."""
+
+    def reset(self) -> None:
+        """Static predictors hold no run-time state."""
+
+    @property
+    def storage_bits(self) -> int:
+        # Direction hints live in the instruction encoding, not in predictor
+        # hardware; the run-time hardware cost is zero.
+        return 0

@@ -1,0 +1,38 @@
+"""Trace-driven simulation engines.
+
+Two engines compute identical statistics:
+
+* :mod:`repro.sim.engine` — the reference implementation: plain objects,
+  one Python loop, semantics that read directly off the paper.  Used by
+  the unit tests as ground truth and for small runs.
+* :mod:`repro.sim.fast` — the production path for full experiments: the
+  predictor sweep is a tight loop producing correctness/BHR streams
+  (memoized per benchmark+predictor), and CIR pattern histories are
+  reconstructed with vectorized grouped scans.  Property tests assert
+  exact equivalence with the reference engine.
+"""
+
+from repro.sim.engine import EstimatorRun, SimulationResult, simulate
+from repro.sim.fast import (
+    PredictorStreams,
+    cir_pattern_stream,
+    predictor_streams,
+    resetting_counter_stream,
+    saturating_counter_stream,
+    two_level_pattern_stream,
+)
+from repro.sim.cache import clear_stream_cache, cached_predictor_streams
+
+__all__ = [
+    "simulate",
+    "SimulationResult",
+    "EstimatorRun",
+    "predictor_streams",
+    "PredictorStreams",
+    "cir_pattern_stream",
+    "two_level_pattern_stream",
+    "saturating_counter_stream",
+    "resetting_counter_stream",
+    "cached_predictor_streams",
+    "clear_stream_cache",
+]

@@ -1,0 +1,54 @@
+"""Memoized predictor sweeps.
+
+Every experiment in the paper reuses the same (benchmark, predictor)
+pairs; the predictor sweep is the only sequential-in-Python stage of the
+fast path, so caching it makes the difference between seconds and minutes
+for the full figure suite.  Keys are fully value-based (benchmark name,
+trace length, seed, predictor geometry), so a cached entry is always
+interchangeable with a fresh sweep.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.sim.fast import PredictorStreams, predictor_streams
+from repro.traces.trace import Trace
+from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, load_benchmark
+
+
+def _load_any_benchmark(name: str, length: int, seed: int) -> Trace:
+    """Resolve a benchmark from the IBS suite or the SPEC-like suite."""
+    try:
+        return load_benchmark(name, length, seed)
+    except ValueError:
+        from repro.workloads.spec_like import load_spec_benchmark
+
+        return load_spec_benchmark(name, length, seed)
+
+
+@functools.lru_cache(maxsize=128)
+def cached_predictor_streams(
+    benchmark: str,
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    entries: int = 1 << 16,
+    history_bits: int = 16,
+    bhr_record_bits: int = 16,
+) -> PredictorStreams:
+    """Predictor streams for a suite benchmark, memoized by value.
+
+    ``benchmark`` may name an IBS-suite or SPEC-like-suite program.
+    """
+    trace = _load_any_benchmark(benchmark, length, seed)
+    return predictor_streams(
+        trace,
+        entries=entries,
+        history_bits=history_bits,
+        bhr_record_bits=bhr_record_bits,
+    )
+
+
+def clear_stream_cache() -> None:
+    """Drop all memoized predictor sweeps (mainly for tests)."""
+    cached_predictor_streams.cache_clear()

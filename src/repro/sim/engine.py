@@ -1,0 +1,174 @@
+"""The reference trace-driven simulation engine.
+
+One pass over a trace drives the branch predictor and any number of
+confidence estimators, exactly in the paper's order for each dynamic
+branch:
+
+1. the predictor predicts (using the pre-branch global BHR);
+2. each confidence estimator is looked up (same BHR/global-CIR view) —
+   the bucket accompanies the prediction, as in Fig. 1;
+3. the branch resolves; correctness is recorded per estimator bucket;
+4. each estimator and the predictor train;
+5. the global BHR shifts in the outcome and the global CIR shifts in the
+   correctness.
+
+The engine owns the global registers so the predictor and the confidence
+mechanisms see a consistent history, mirroring the shared BHR in the
+paper's block diagrams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import BucketSemantics, ConfidenceEstimator
+from repro.predictors.base import BranchPredictor
+from repro.traces.trace import Trace
+from repro.utils.bits import bit_mask
+
+
+@dataclass(frozen=True)
+class EstimatorRun:
+    """Per-bucket statistics for one estimator over one simulation."""
+
+    estimator_name: str
+    semantics: BucketSemantics
+    #: Executions per bucket (length = estimator.num_buckets).
+    counts: np.ndarray
+    #: Mispredictions per bucket.
+    mispredicts: np.ndarray
+    #: Least-confident-first bucket order for ORDERED estimators, else None.
+    bucket_order: Optional[np.ndarray] = None
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    @property
+    def total_mispredicts(self) -> int:
+        return int(self.mispredicts.sum())
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one (trace, predictor, estimators) simulation."""
+
+    trace_name: str
+    num_branches: int
+    num_mispredicts: int
+    estimator_runs: Dict[str, EstimatorRun] = field(default_factory=dict)
+    #: Per-branch correctness stream (uint8), when recording was requested.
+    correct_stream: Optional[np.ndarray] = None
+    #: Pre-branch BHR value stream (int64), when recording was requested.
+    bhr_stream: Optional[np.ndarray] = None
+    #: Pre-branch global-CIR value stream (int64), when requested.
+    gcir_stream: Optional[np.ndarray] = None
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.num_branches == 0:
+            return 0.0
+        return self.num_mispredicts / self.num_branches
+
+
+def simulate(
+    trace: Trace,
+    predictor: BranchPredictor,
+    estimators: Sequence[ConfidenceEstimator] = (),
+    history_bits: int = 16,
+    record_streams: bool = False,
+) -> SimulationResult:
+    """Run the reference engine over ``trace``.
+
+    Parameters
+    ----------
+    trace:
+        The branch trace to simulate.
+    predictor:
+        The underlying branch predictor (it is trained in place; pass a
+        fresh instance or call ``reset()`` for independent runs).
+    estimators:
+        Confidence estimators observed and trained alongside the predictor.
+    history_bits:
+        Width of the engine-owned global BHR and global CIR registers.
+        Components mask down to what they use.
+    record_streams:
+        When True, the per-branch correctness, BHR, and global-CIR streams
+        are returned for downstream analysis (static profiles, the fast
+        engine's contracts).
+    """
+    names = [estimator.name for estimator in estimators]
+    if len(set(names)) != len(names):
+        raise ValueError(f"estimator names must be unique, got {names}")
+
+    history_mask = bit_mask(history_bits)
+    num_branches = len(trace)
+    bucket_streams = [
+        np.empty(num_branches, dtype=np.int64) for _ in estimators
+    ]
+    correct_stream = np.empty(num_branches, dtype=np.uint8)
+    bhr_stream = (
+        np.empty(num_branches, dtype=np.int64) if record_streams else None
+    )
+    gcir_stream = (
+        np.empty(num_branches, dtype=np.int64) if record_streams else None
+    )
+
+    # Hot loop: hoist bound methods and iterate plain Python ints.
+    predict = predictor.predict
+    update_predictor = predictor.update
+    estimator_ops = [
+        (estimator.lookup, estimator.update) for estimator in estimators
+    ]
+    pcs = trace.pcs.tolist()
+    outcomes = trace.outcomes.tolist()
+
+    bhr = 0
+    gcir = 0
+    mispredicts = 0
+    for position in range(num_branches):
+        pc = pcs[position]
+        outcome = outcomes[position]
+        prediction = predict(pc, bhr)
+        correct = prediction == outcome
+        if record_streams:
+            bhr_stream[position] = bhr
+            gcir_stream[position] = gcir
+        for slot, (lookup, update) in enumerate(estimator_ops):
+            bucket_streams[slot][position] = lookup(pc, bhr, gcir)
+            update(pc, bhr, gcir, correct)
+        update_predictor(pc, bhr, outcome)
+        correct_stream[position] = correct
+        if not correct:
+            mispredicts += 1
+        bhr = ((bhr << 1) | outcome) & history_mask
+        gcir = ((gcir << 1) | (0 if correct else 1)) & history_mask
+
+    incorrect = (correct_stream == 0).astype(np.int64)
+    estimator_runs: Dict[str, EstimatorRun] = {}
+    for estimator, buckets in zip(estimators, bucket_streams):
+        counts = np.bincount(buckets, minlength=estimator.num_buckets)
+        bucket_mispredicts = np.bincount(
+            buckets, weights=incorrect, minlength=estimator.num_buckets
+        ).astype(np.int64)
+        order = estimator.bucket_order
+        estimator_runs[estimator.name] = EstimatorRun(
+            estimator_name=estimator.name,
+            semantics=estimator.semantics,
+            counts=counts,
+            mispredicts=bucket_mispredicts,
+            bucket_order=None if order is None else np.asarray(order, dtype=np.int64),
+        )
+
+    return SimulationResult(
+        trace_name=trace.name,
+        num_branches=num_branches,
+        num_mispredicts=mispredicts,
+        estimator_runs=estimator_runs,
+        correct_stream=correct_stream,
+        bhr_stream=bhr_stream,
+        gcir_stream=gcir_stream,
+    )

@@ -1,0 +1,31 @@
+"""Conditional-branch trace substrate.
+
+A :class:`~repro.traces.trace.Trace` is the unit of simulation input: a
+numpy-backed sequence of ``(pc, outcome)`` records for the dynamic
+conditional branches of one benchmark run.  The paper's IBS traces are
+proprietary; this package holds the trace *container* and tooling, while
+:mod:`repro.workloads` synthesizes the traces themselves.
+"""
+
+from repro.traces.builder import TraceBuilder
+from repro.traces.io import load_trace, save_trace
+from repro.traces.statistics import (
+    StaticBranchProfile,
+    TraceStatistics,
+    compute_statistics,
+    static_branch_profile,
+)
+from repro.traces.trace import NOT_TAKEN, TAKEN, Trace
+
+__all__ = [
+    "Trace",
+    "TAKEN",
+    "NOT_TAKEN",
+    "TraceBuilder",
+    "save_trace",
+    "load_trace",
+    "TraceStatistics",
+    "StaticBranchProfile",
+    "compute_statistics",
+    "static_branch_profile",
+]

@@ -1,0 +1,45 @@
+"""Trace persistence.
+
+Traces serialize to compressed ``.npz`` files so expensive synthetic suites
+can be generated once and replayed.  The format is versioned; loading an
+incompatible file raises immediately rather than mis-simulating.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        version=np.asarray(_FORMAT_VERSION, dtype=np.int64),
+        name=np.asarray(trace.name),
+        pcs=trace.pcs,
+        outcomes=trace.outcomes,
+    )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=False) as archive:
+        missing = {"version", "name", "pcs", "outcomes"} - set(archive.files)
+        if missing:
+            raise ValueError(f"{path}: not a trace archive (missing {sorted(missing)})")
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: trace format version {version} is not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return Trace(archive["pcs"], archive["outcomes"], str(archive["name"]))

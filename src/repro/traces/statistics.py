@@ -1,0 +1,126 @@
+"""Descriptive statistics over traces.
+
+Two views are provided:
+
+* :class:`TraceStatistics` — whole-trace aggregates (dynamic counts, taken
+  bias, per-site concentration) used to sanity-check that the synthetic
+  workloads resemble the branch behaviour the paper describes.
+* :class:`StaticBranchProfile` — per-static-branch execution/misprediction
+  counts, the raw material of the paper's Section 2 static (profile)
+  confidence method.  The profile is predictor-relative: it is produced by
+  running a predictor over the trace (see :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate descriptive statistics of one trace."""
+
+    name: str
+    dynamic_branches: int
+    static_branches: int
+    taken_fraction: float
+    #: Fraction of dynamic branches contributed by the 10% most-executed sites.
+    top_decile_concentration: float
+    #: Mean dynamic executions per static site.
+    mean_executions_per_site: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name or '<trace>'}: {self.dynamic_branches} dynamic / "
+            f"{self.static_branches} static branches, "
+            f"{self.taken_fraction:.1%} taken, "
+            f"top-decile sites cover {self.top_decile_concentration:.1%}"
+        )
+
+
+def compute_statistics(trace: Trace) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``trace``."""
+    n = len(trace)
+    if n == 0:
+        return TraceStatistics(trace.name, 0, 0, 0.0, 0.0, 0.0)
+    unique_pcs, counts = np.unique(trace.pcs, return_counts=True)
+    counts_desc = np.sort(counts)[::-1]
+    top_decile = max(1, int(np.ceil(unique_pcs.size * 0.10)))
+    concentration = float(counts_desc[:top_decile].sum()) / float(n)
+    return TraceStatistics(
+        name=trace.name,
+        dynamic_branches=n,
+        static_branches=int(unique_pcs.size),
+        taken_fraction=trace.taken_fraction,
+        top_decile_concentration=concentration,
+        mean_executions_per_site=float(n) / float(unique_pcs.size),
+    )
+
+
+@dataclass(frozen=True)
+class StaticBranchProfile:
+    """Per-static-branch execution and misprediction counts.
+
+    This is the paper's Section 2 profile: for every static branch, how
+    often it executed and how often the underlying predictor mispredicted
+    it.  ``from_streams`` builds the profile from a trace plus the
+    predictor's correctness stream.
+    """
+
+    #: Map of PC -> (executions, mispredictions).
+    counts: Mapping[int, "tuple[int, int]"]
+
+    @staticmethod
+    def from_streams(trace: Trace, correct: np.ndarray) -> "StaticBranchProfile":
+        """Build a profile from a trace and its per-branch ``correct`` stream.
+
+        Parameters
+        ----------
+        trace:
+            The simulated trace.
+        correct:
+            Boolean/0-1 array, one entry per dynamic branch: whether the
+            predictor was correct on that branch.
+        """
+        correct_arr = np.asarray(correct)
+        if correct_arr.shape[0] != len(trace):
+            raise ValueError(
+                f"correct stream length {correct_arr.shape[0]} does not match "
+                f"trace length {len(trace)}"
+            )
+        incorrect = (correct_arr == 0).astype(np.int64)
+        unique_pcs, inverse = np.unique(trace.pcs, return_inverse=True)
+        executions = np.bincount(inverse, minlength=unique_pcs.size)
+        mispredictions = np.bincount(
+            inverse, weights=incorrect, minlength=unique_pcs.size
+        ).astype(np.int64)
+        counts: Dict[int, "tuple[int, int]"] = {
+            int(pc): (int(execs), int(mis))
+            for pc, execs, mis in zip(unique_pcs, executions, mispredictions)
+        }
+        return StaticBranchProfile(counts)
+
+    @property
+    def total_executions(self) -> int:
+        return sum(execs for execs, _ in self.counts.values())
+
+    @property
+    def total_mispredictions(self) -> int:
+        return sum(mis for _, mis in self.counts.values())
+
+    def misprediction_rate(self, pc: int) -> float:
+        """Misprediction rate of the static branch at ``pc``."""
+        executions, mispredictions = self.counts[pc]
+        if executions == 0:
+            return 0.0
+        return mispredictions / executions
+
+
+def static_branch_profile(trace: Trace, correct: np.ndarray) -> StaticBranchProfile:
+    """Convenience wrapper around :meth:`StaticBranchProfile.from_streams`."""
+    return StaticBranchProfile.from_streams(trace, correct)

@@ -1,0 +1,56 @@
+"""Low-level utilities shared across the library.
+
+Submodules
+----------
+bits
+    Bit manipulation helpers (masks, popcount, xor folding) used by the
+    predictors and confidence tables.
+rng
+    Deterministic random-stream helpers so every stochastic component of the
+    workload substrate is reproducible from an explicit seed.
+runlength
+    Run-length encoding helpers used by trace statistics.
+validation
+    Argument-checking helpers that raise uniform, descriptive errors.
+"""
+
+from repro.utils.bits import (
+    bit_mask,
+    extract_bits,
+    is_power_of_two,
+    log2_exact,
+    lowest_set_bit,
+    popcount,
+    reverse_bits,
+    xor_fold,
+)
+from repro.utils.rng import derive_seed, make_rng, split_rng
+from repro.utils.runlength import run_lengths, runs
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+__all__ = [
+    "bit_mask",
+    "extract_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "lowest_set_bit",
+    "popcount",
+    "reverse_bits",
+    "xor_fold",
+    "derive_seed",
+    "make_rng",
+    "split_rng",
+    "run_lengths",
+    "runs",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+]

@@ -1,0 +1,130 @@
+"""Bit manipulation helpers.
+
+The confidence tables and branch predictors in this library operate on
+fixed-width bit fields: program-counter slices, branch-history registers,
+and Correct/Incorrect Registers (CIRs).  The helpers here centralize the
+masking, counting, and folding operations so the higher layers read like
+the paper's prose rather than like bit twiddling.
+"""
+
+from __future__ import annotations
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask with the ``width`` low bits set.
+
+    >>> bit_mask(4)
+    15
+    >>> bit_mask(0)
+    0
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def extract_bits(value: int, low: int, high: int) -> int:
+    """Return bits ``high:low`` (inclusive) of ``value``, right-justified.
+
+    The bit numbering follows the paper's convention: the gshare predictor
+    is indexed with "bits 17 through 2 of the program counter", i.e.
+    ``extract_bits(pc, 2, 17)``.
+
+    >>> extract_bits(0b101100, 2, 4)
+    3
+    """
+    if low < 0:
+        raise ValueError(f"low must be non-negative, got {low}")
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    return (value >> low) & bit_mask(high - low + 1)
+
+
+def popcount(value: int) -> int:
+    """Count set bits — the paper's "ones count" reduction primitive.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if value < 0:
+        raise ValueError(f"popcount requires a non-negative value, got {value}")
+    return bin(value).count("1")
+
+
+def lowest_set_bit(value: int) -> int:
+    """Return the index of the lowest set bit, or -1 when ``value`` is 0.
+
+    With the library's CIR convention (bit 0 = most recent prediction,
+    1 = incorrect), the lowest set bit of a CIR is the number of correct
+    predictions since the most recent misprediction — exactly the value a
+    resetting counter tracks (until it saturates).
+
+    >>> lowest_set_bit(0b1000)
+    3
+    >>> lowest_set_bit(0)
+    -1
+    """
+    if value < 0:
+        raise ValueError(f"lowest_set_bit requires non-negative value, got {value}")
+    if value == 0:
+        return -1
+    return (value & -value).bit_length() - 1
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Used when rendering CIR contents in the paper's left-to-right
+    oldest-to-newest textual convention.
+
+    >>> bin(reverse_bits(0b0001, 4))
+    '0b1000'
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    result = 0
+    for i in range(width):
+        if value & (1 << i):
+            result |= 1 << (width - 1 - i)
+    return result
+
+
+def xor_fold(value: int, width: int) -> int:
+    """Fold an arbitrarily wide value into ``width`` bits by XOR.
+
+    Successive ``width``-bit chunks are XORed together.  Used to squeeze
+    wide index sources (e.g. a long global CIR) into small table indices.
+
+    >>> xor_fold(0b1010_0110, 4)
+    12
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    mask = bit_mask(width)
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= width
+    return folded
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two.
+
+    >>> is_power_of_two(4096)
+    True
+    >>> is_power_of_two(12)
+    False
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power of two; raise otherwise.
+
+    Table sizes throughout the library are powers of two (they are indexed
+    by bit fields), so a fractional log is always a configuration error.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value}")
+    return value.bit_length() - 1

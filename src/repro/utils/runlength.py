@@ -1,0 +1,38 @@
+"""Run-length helpers for outcome streams.
+
+Trace statistics report the distribution of taken/not-taken runs, which is
+the natural fingerprint of loop-dominated branch behaviour and is used to
+sanity-check the synthetic workloads against their configured trip counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def runs(values: Sequence[int]) -> List[Tuple[int, int]]:
+    """Return ``(value, length)`` pairs for consecutive runs.
+
+    >>> runs([1, 1, 0, 1, 1, 1])
+    [(1, 2), (0, 1), (1, 3)]
+    >>> runs([])
+    []
+    """
+    array = np.asarray(values)
+    if array.size == 0:
+        return []
+    change_points = np.flatnonzero(array[1:] != array[:-1]) + 1
+    starts = np.concatenate(([0], change_points))
+    ends = np.concatenate((change_points, [array.size]))
+    return [(int(array[s]), int(e - s)) for s, e in zip(starts, ends)]
+
+
+def run_lengths(values: Sequence[int], of_value: int) -> List[int]:
+    """Return the lengths of runs equal to ``of_value``.
+
+    >>> run_lengths([1, 1, 0, 1, 1, 1], of_value=1)
+    [2, 3]
+    """
+    return [length for value, length in runs(values) if value == of_value]

@@ -1,0 +1,46 @@
+"""Uniform argument validation.
+
+The public API surfaces of the predictors, confidence tables, and workload
+models share a small vocabulary of constraints (power-of-two table sizes,
+probabilities, positive widths).  Validating through one module keeps error
+messages consistent and the call sites one line long.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import is_power_of_two
+
+
+def check_positive(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` > 0; return it otherwise."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` >= 0; return it otherwise."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``value`` is a positive power of two."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Raise ``ValueError`` unless ``0.0 <= value <= 1.0``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def check_in_range(value: int, low: int, high: int, name: str) -> int:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (inclusive)."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be within [{low}, {high}], got {value}")
+    return value

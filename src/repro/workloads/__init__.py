@@ -1,0 +1,71 @@
+"""Synthetic workload substrate — the IBS suite substitute.
+
+The paper evaluates on the (proprietary) Mach IBS traces.  This package
+replaces them with *synthetic programs*: explicit control-flow structures
+whose conditional branches follow configurable behaviour models.  The
+models span the branch populations that drive the paper's results:
+
+* loop back-edges (long taken runs, one not-taken exit),
+* strongly biased data-dependent branches,
+* branches correlated with the outcomes of earlier branches (the
+  population gshare and BHR-indexed confidence tables exploit),
+* periodic per-branch patterns (the local-predictor-friendly population),
+* phase-changing branches (bias shifts over time),
+* bursty two-state Markov branches,
+* genuinely hard near-random branches (where mispredictions concentrate).
+
+:mod:`repro.workloads.ibs` composes these into eight benchmarks named
+after the IBS programs, with mixes tuned so the aggregate misprediction
+rates and confidence-curve shapes land near the paper's (see
+EXPERIMENTS.md for paper-vs-measured numbers).
+"""
+
+from repro.workloads.behaviors import (
+    BiasedBehavior,
+    BranchBehavior,
+    ContextDependentBehavior,
+    CorrelatedBehavior,
+    ExecutionContext,
+    MarkovBehavior,
+    PatternBehavior,
+    PhasedBehavior,
+)
+from repro.workloads.behaviors import TripSource
+from repro.workloads.program import (
+    Block,
+    Emit,
+    If,
+    Loop,
+    Node,
+    Site,
+    SyntheticProgram,
+)
+from repro.workloads.ibs import (
+    IBS_BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+    load_suite,
+)
+
+__all__ = [
+    "BranchBehavior",
+    "ExecutionContext",
+    "BiasedBehavior",
+    "PatternBehavior",
+    "CorrelatedBehavior",
+    "ContextDependentBehavior",
+    "PhasedBehavior",
+    "MarkovBehavior",
+    "Site",
+    "Node",
+    "Block",
+    "Emit",
+    "If",
+    "Loop",
+    "TripSource",
+    "SyntheticProgram",
+    "IBS_BENCHMARKS",
+    "benchmark_names",
+    "load_benchmark",
+    "load_suite",
+]

@@ -1,0 +1,234 @@
+"""Synthetic program structure and interpreter.
+
+A :class:`SyntheticProgram` is a tree of control-flow nodes over a set of
+branch :class:`Site` objects.  Running it interprets the tree repeatedly,
+emitting one ``(pc, outcome)`` record per dynamic conditional branch until
+the requested trace length is reached.
+
+Nodes
+-----
+``Emit(site)``
+    Execute ``site`` once: draw its outcome from its behaviour and emit it.
+``If(site, then_body, else_body)``
+    Execute ``site``; on taken run ``then_body``, otherwise ``else_body``.
+    Conditional structure makes *which* branches execute depend on earlier
+    outcomes, giving the global history register real path information.
+``Loop(site, body, trips)``
+    ``site`` is the loop back-edge: for a trip count drawn from ``trips``
+    the branch is taken (executing ``body`` each time) and finally
+    not-taken once.
+``Block(children)``
+    Sequential composition.
+
+The interpreter bounds recursion by program construction (trees are
+shallow) and bounds trace length exactly: generation stops mid-structure
+once the target length is reached.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.traces.builder import TraceBuilder
+from repro.traces.trace import NOT_TAKEN, TAKEN, Trace
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive
+from repro.workloads.behaviors import (
+    BranchBehavior,
+    ExecutionContext,
+    TripSource,
+)
+
+
+@dataclass(frozen=True)
+class Site:
+    """A static conditional branch site.
+
+    ``pc`` is the branch's instruction address (4-byte aligned), ``name``
+    identifies the site for correlation sources, and ``behavior`` produces
+    its outcomes.  Loop back-edge sites are marked ``is_backward`` so the
+    BTFNT static predictor can classify them.
+    """
+
+    name: str
+    pc: int
+    behavior: Optional[BranchBehavior]
+    is_backward: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pc % 4 != 0:
+            raise ValueError(f"site {self.name!r}: pc {self.pc:#x} not 4-byte aligned")
+
+
+class _StopGeneration(Exception):
+    """Raised internally when the requested trace length is reached."""
+
+
+class Node(abc.ABC):
+    """A control-flow tree node."""
+
+    @abc.abstractmethod
+    def execute(self, machine: "_Machine") -> None:
+        """Interpret this node once."""
+
+    @abc.abstractmethod
+    def sites(self) -> List[Site]:
+        """All sites contained in this subtree (with duplicates removed)."""
+
+
+def _collect_sites(own: Sequence[Site], bodies: Sequence["Node"]) -> List[Site]:
+    seen: Dict[str, Site] = {}
+    for site in own:
+        seen[site.name] = site
+    for body in bodies:
+        for site in body.sites():
+            if site.name in seen and seen[site.name] is not site:
+                raise ValueError(f"duplicate site name {site.name!r} in program")
+            seen[site.name] = site
+    return list(seen.values())
+
+
+@dataclass
+class Emit(Node):
+    """Execute one branch site."""
+
+    site: Site
+
+    def execute(self, machine: "_Machine") -> None:
+        machine.run_site(self.site)
+
+    def sites(self) -> List[Site]:
+        return [self.site]
+
+
+@dataclass
+class Block(Node):
+    """Sequential composition of child nodes."""
+
+    children: Sequence[Node]
+
+    def execute(self, machine: "_Machine") -> None:
+        for child in self.children:
+            child.execute(machine)
+
+    def sites(self) -> List[Site]:
+        return _collect_sites([], list(self.children))
+
+
+@dataclass
+class If(Node):
+    """A conditional guarding one or two bodies."""
+
+    site: Site
+    then_body: Node = field(default_factory=lambda: Block([]))
+    else_body: Node = field(default_factory=lambda: Block([]))
+
+    def execute(self, machine: "_Machine") -> None:
+        outcome = machine.run_site(self.site)
+        if outcome == TAKEN:
+            self.then_body.execute(machine)
+        else:
+            self.else_body.execute(machine)
+
+    def sites(self) -> List[Site]:
+        return _collect_sites([self.site], [self.then_body, self.else_body])
+
+
+@dataclass
+class Loop(Node):
+    """A counted loop with a back-edge branch site.
+
+    The back-edge site needs no behaviour of its own: the loop drives it
+    (taken for each iteration, not-taken on exit), so ``site.behavior``
+    may be ``None``.
+    """
+
+    site: Site
+    body: Node
+    trips: TripSource
+
+    def execute(self, machine: "_Machine") -> None:
+        trip_count = self.trips.next_trips(machine.rng)
+        for _ in range(trip_count):
+            machine.emit(self.site, TAKEN)
+            self.body.execute(machine)
+        machine.emit(self.site, NOT_TAKEN)
+
+    def sites(self) -> List[Site]:
+        return _collect_sites([self.site], [self.body])
+
+
+class _Machine:
+    """Interpreter state for one program run."""
+
+    def __init__(
+        self, builder: TraceBuilder, target_length: int, rng: np.random.Generator
+    ) -> None:
+        self.builder = builder
+        self.target_length = target_length
+        self.rng = rng
+        self.context = ExecutionContext()
+
+    def run_site(self, site: Site) -> int:
+        if site.behavior is None:
+            raise ValueError(f"site {site.name!r} has no behaviour and is not a loop")
+        outcome = site.behavior.next_outcome(self.context, self.rng)
+        self.emit(site, outcome)
+        return outcome
+
+    def emit(self, site: Site, outcome: int) -> None:
+        self.builder.append(site.pc, outcome)
+        self.context.record(site.name, outcome)
+        if len(self.builder) >= self.target_length:
+            raise _StopGeneration
+
+
+class SyntheticProgram:
+    """A named control-flow tree that generates branch traces.
+
+    The top-level node is executed repeatedly (modelling the benchmark's
+    outer driver loop) until the requested number of dynamic branches has
+    been emitted.
+    """
+
+    def __init__(self, name: str, root: Node) -> None:
+        self._name = name
+        self._root = root
+        self._sites = root.sites()
+        if not self._sites:
+            raise ValueError("program contains no branch sites")
+        pcs = [site.pc for site in self._sites]
+        if len(set(pcs)) != len(pcs):
+            raise ValueError("branch sites must have distinct PCs")
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def sites(self) -> List[Site]:
+        return list(self._sites)
+
+    @property
+    def backward_pcs(self) -> List[int]:
+        """PCs of loop back-edge sites (for the BTFNT static predictor)."""
+        return [site.pc for site in self._sites if site.is_backward]
+
+    def generate(self, length: int, seed: int = 0) -> Trace:
+        """Generate a trace of exactly ``length`` dynamic branches."""
+        check_positive(length, "length")
+        for site in self._sites:
+            if site.behavior is not None:
+                site.behavior.reset()
+        builder = TraceBuilder(self._name)
+        machine = _Machine(builder, length, make_rng("program", self._name, seed))
+        try:
+            while True:
+                self._root.execute(machine)
+        except _StopGeneration:
+            pass
+        return builder.build()

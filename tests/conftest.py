@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite.
+
+Small, deterministic traces and streams so unit tests stay fast; the
+integration tests build their own medium-sized configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces import Trace
+from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> Trace:
+    """A hand-written 12-branch trace over three sites."""
+    pcs = [0x100, 0x104, 0x108] * 4
+    outcomes = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1]
+    return Trace(np.asarray(pcs), np.asarray(outcomes), name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_benchmark_trace() -> Trace:
+    """A short synthetic benchmark trace (deterministic)."""
+    return load_benchmark("jpeg_play", 4_000, 0)
+
+
+@pytest.fixture(scope="session")
+def random_trace() -> Trace:
+    """A medium random trace exercising many table entries."""
+    rng = np.random.default_rng(1234)
+    pcs = rng.integers(0, 1 << 14, size=6_000).astype(np.uint64) * 4
+    outcomes = rng.integers(0, 2, size=6_000).astype(np.uint8)
+    return Trace(pcs, outcomes, name="random")

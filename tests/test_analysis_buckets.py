@@ -1,0 +1,123 @@
+"""Unit tests for BucketStatistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import BucketStatistics
+
+
+def stats(counts, mispredicts):
+    return BucketStatistics(np.asarray(counts, float), np.asarray(mispredicts, float))
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = stats([10, 5], [2, 0])
+        assert s.num_buckets == 2
+        assert s.total == 15
+        assert s.total_mispredicts == 2
+
+    def test_mispredicts_cannot_exceed_counts(self):
+        with pytest.raises(ValueError, match="exceed"):
+            stats([1], [2])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            stats([-1], [0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            stats([1, 2], [0])
+
+
+class TestFromStreams:
+    def test_accumulation(self):
+        buckets = np.asarray([0, 1, 1, 2])
+        correct = np.asarray([1, 0, 1, 0])
+        s = BucketStatistics.from_streams(buckets, correct, num_buckets=4)
+        assert s.counts.tolist() == [1, 2, 1, 0]
+        assert s.mispredicts.tolist() == [0, 1, 1, 0]
+
+    def test_out_of_range_bucket(self):
+        with pytest.raises(ValueError, match="out of range"):
+            BucketStatistics.from_streams(
+                np.asarray([5]), np.asarray([1]), num_buckets=2
+            )
+
+    def test_stream_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BucketStatistics.from_streams(
+                np.asarray([0, 1]), np.asarray([1]), num_buckets=2
+            )
+
+
+class TestRates:
+    def test_bucket_rate(self):
+        s = stats([10, 0], [3, 0])
+        assert s.bucket_rate(0) == pytest.approx(0.3)
+        assert s.bucket_rate(1) == 0.0
+
+    def test_rates_vector(self):
+        s = stats([10, 0, 4], [3, 0, 4])
+        assert s.rates().tolist() == [0.3, 0.0, 1.0]
+
+    def test_misprediction_rate(self):
+        s = stats([8, 2], [1, 1])
+        assert s.misprediction_rate == pytest.approx(0.2)
+
+
+class TestAlgebra:
+    def test_add(self):
+        s = stats([1, 2], [0, 1]) + stats([3, 4], [1, 1])
+        assert s.counts.tolist() == [4, 6]
+        assert s.mispredicts.tolist() == [1, 2]
+
+    def test_add_size_mismatch(self):
+        with pytest.raises(ValueError):
+            stats([1], [0]) + stats([1, 2], [0, 0])
+
+    def test_scaled(self):
+        s = stats([2, 4], [1, 2]).scaled(0.5)
+        assert s.counts.tolist() == [1, 2]
+        assert s.mispredicts.tolist() == [0.5, 1]
+
+    def test_scaled_negative(self):
+        with pytest.raises(ValueError):
+            stats([1], [0]).scaled(-1)
+
+    def test_normalized(self):
+        s = stats([2, 6], [1, 3]).normalized()
+        assert s.total == pytest.approx(1.0)
+        assert s.misprediction_rate == pytest.approx(0.5)
+
+    def test_normalized_empty_is_noop(self):
+        s = BucketStatistics.zeros(4).normalized()
+        assert s.total == 0
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=10))
+    def test_normalize_preserves_rates(self, counts):
+        mispredicts = [c // 2 for c in counts]
+        s = stats(counts, mispredicts)
+        n = s.normalized()
+        for bucket in range(s.num_buckets):
+            assert n.bucket_rate(bucket) == pytest.approx(s.bucket_rate(bucket))
+
+
+class TestRegrouped:
+    def test_regroup_sums(self):
+        s = stats([1, 2, 3, 4], [0, 1, 1, 2])
+        mapping = np.asarray([0, 0, 1, 1])
+        g = s.regrouped(mapping)
+        assert g.counts.tolist() == [3, 7]
+        assert g.mispredicts.tolist() == [1, 3]
+
+    def test_regroup_explicit_size(self):
+        s = stats([1, 1], [0, 0])
+        g = s.regrouped(np.asarray([0, 0]), num_buckets=5)
+        assert g.num_buckets == 5
+
+    def test_regroup_mapping_size_mismatch(self):
+        with pytest.raises(ValueError):
+            stats([1, 1], [0, 0]).regrouped(np.asarray([0]))

@@ -1,0 +1,75 @@
+"""Unit tests for curve comparison tooling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BucketStatistics,
+    ConfidenceCurve,
+    crossovers,
+    dominates,
+    sample_delta,
+)
+
+
+def curve(counts, mispredicts, name="c"):
+    stats = BucketStatistics(
+        np.asarray(counts, float), np.asarray(mispredicts, float)
+    )
+    return ConfidenceCurve.from_statistics(stats, name=name)
+
+
+class TestSampleDelta:
+    def test_identical_curves_zero_delta(self):
+        a = curve([10, 10], [5, 0], "a")
+        b = curve([10, 10], [5, 0], "b")
+        delta = sample_delta(a, b)
+        assert delta.max_advantage == pytest.approx(0.0)
+        assert delta.max_deficit == pytest.approx(0.0)
+        assert delta.first_name == "a"
+
+    def test_better_curve_positive(self):
+        steep = curve([10, 90], [10, 0], "steep")     # all misses in 10%
+        flat = curve([50, 50], [5, 5], "flat")        # diagonal
+        delta = sample_delta(steep, flat)
+        assert delta.mean_delta > 0
+        assert delta.max_deficit == pytest.approx(0.0, abs=1e-9)
+
+
+class TestDominates:
+    def test_dominance(self):
+        steep = curve([10, 90], [10, 0])
+        flat = curve([50, 50], [5, 5])
+        assert dominates(steep, flat)
+        assert not dominates(flat, steep)
+
+    def test_tolerance(self):
+        a = curve([10, 90], [10, 0])
+        b = curve([11, 89], [10, 0])
+        # b trails a by up to ~9 points around the knee; a loose tolerance
+        # accepts it, a tight one does not.
+        assert dominates(b, a, tolerance=10.0)
+        assert not dominates(b, a, tolerance=2.0)
+
+
+class TestCrossovers:
+    def test_no_crossover_for_nested_curves(self):
+        steep = curve([10, 90], [10, 0])
+        flat = curve([50, 50], [5, 5])
+        assert crossovers(steep, flat) == []
+
+    def test_crossover_found(self):
+        # a: strong early, weak later; b: the reverse — they must cross.
+        a = curve([10, 40, 50], [8, 1, 1], "a")
+        b = curve([30, 30, 40], [6, 4, 0], "b")
+        points = crossovers(a, b)
+        assert len(points) >= 1
+        assert all(0 < x < 100 for x in points)
+
+    def test_crossover_sign_change_is_real(self):
+        a = curve([10, 40, 50], [8, 1, 1], "a")
+        b = curve([30, 30, 40], [6, 4, 0], "b")
+        x = crossovers(a, b)[0]
+        before = sample_delta(a, b, [max(1.0, x - 5)]).deltas[0]
+        after = sample_delta(a, b, [min(99.0, x + 5)]).deltas[0]
+        assert np.sign(before) != np.sign(after)

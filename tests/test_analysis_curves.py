@@ -1,0 +1,174 @@
+"""Unit tests for confidence-curve construction and queries."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import BucketStatistics, ConfidenceCurve
+
+
+def stats(counts, mispredicts):
+    return BucketStatistics(np.asarray(counts, float), np.asarray(mispredicts, float))
+
+
+class TestEmpiricalConstruction:
+    def test_sorts_by_rate_descending(self):
+        # Bucket rates: 0 -> 0.5, 1 -> 1.0, 2 -> 0.0.
+        curve = ConfidenceCurve.from_statistics(stats([4, 2, 4], [2, 2, 0]))
+        assert [p.bucket for p in curve.points] == [1, 0, 2]
+
+    def test_cumulative_percentages(self):
+        curve = ConfidenceCurve.from_statistics(stats([5, 5], [5, 0]))
+        first, second = curve.points
+        assert first.dynamic_percent == pytest.approx(50.0)
+        assert first.misprediction_percent == pytest.approx(100.0)
+        assert second.dynamic_percent == pytest.approx(100.0)
+        assert second.misprediction_percent == pytest.approx(100.0)
+
+    def test_empty_buckets_skipped(self):
+        curve = ConfidenceCurve.from_statistics(stats([5, 0, 5], [1, 0, 0]))
+        assert all(p.bucket != 1 for p in curve.points)
+
+    def test_ties_break_by_bucket_id(self):
+        curve = ConfidenceCurve.from_statistics(stats([5, 5], [1, 1]))
+        assert [p.bucket for p in curve.points] == [0, 1]
+
+    def test_empty_statistics(self):
+        curve = ConfidenceCurve.from_statistics(BucketStatistics.zeros(4))
+        assert len(curve) == 0
+        assert curve.mispredictions_captured_at(50.0) == 0.0
+
+
+class TestExplicitOrder:
+    def test_order_followed(self):
+        curve = ConfidenceCurve.from_statistics(
+            stats([5, 5], [0, 5]), order=[0, 1]
+        )
+        assert [p.bucket for p in curve.points] == [0, 1]
+        # With the bad bucket last, 50% of branches capture 0%.
+        assert curve.mispredictions_captured_at(50.0) == pytest.approx(0.0)
+
+    def test_order_out_of_range(self):
+        with pytest.raises(ValueError):
+            ConfidenceCurve.from_statistics(stats([1], [0]), order=[3])
+
+    def test_order_skips_empty_buckets(self):
+        curve = ConfidenceCurve.from_statistics(
+            stats([5, 0, 5], [1, 0, 1]), order=[0, 1, 2]
+        )
+        assert [p.bucket for p in curve.points] == [0, 2]
+
+
+class TestQueries:
+    def make_curve(self):
+        # Three buckets: rates 1.0, 0.5, 0.0 with equal counts.
+        return ConfidenceCurve.from_statistics(
+            stats([10, 10, 10], [10, 5, 0]), name="q"
+        )
+
+    def test_interpolation_through_origin(self):
+        curve = self.make_curve()
+        # First point at x=33.3% captures 66.7%; halfway there is ~33.3%.
+        assert curve.mispredictions_captured_at(100 / 6) == pytest.approx(
+            100 / 3, abs=0.1
+        )
+
+    def test_exact_points(self):
+        curve = self.make_curve()
+        assert curve.mispredictions_captured_at(100 / 3) == pytest.approx(
+            200 / 3, abs=0.1
+        )
+        assert curve.mispredictions_captured_at(100.0) == pytest.approx(100.0)
+
+    def test_invalid_percent(self):
+        with pytest.raises(ValueError):
+            self.make_curve().mispredictions_captured_at(101.0)
+
+    def test_low_confidence_buckets(self):
+        curve = self.make_curve()
+        assert curve.low_confidence_buckets(34.0) == [0]
+        assert curve.low_confidence_buckets(67.0) == [0, 1]
+        assert curve.low_confidence_buckets(5.0) == []
+
+    def test_area_under_curve_bounds(self):
+        curve = self.make_curve()
+        assert 0.5 < curve.area_under_curve() <= 1.0
+
+    def test_diagonal_curve_auc_half(self):
+        # All buckets the same rate -> curve is the diagonal.
+        curve = ConfidenceCurve.from_statistics(stats([5, 5], [1, 1]))
+        assert curve.area_under_curve() == pytest.approx(0.5, abs=0.02)
+
+    def test_as_series_includes_origin(self):
+        xs, ys = self.make_curve().as_series()
+        assert xs[0] == 0.0 and ys[0] == 0.0
+
+
+class TestSparsify:
+    def test_keeps_far_points_and_endpoint(self):
+        counts = [1] * 100
+        mispredicts = [1] * 50 + [0] * 50
+        curve = ConfidenceCurve.from_statistics(stats(counts, mispredicts))
+        sparse = curve.sparsified(min_spacing_percent=2.5)
+        assert len(sparse) < len(curve)
+        assert sparse.points[-1].dynamic_percent == pytest.approx(
+            curve.points[-1].dynamic_percent
+        )
+
+    def test_spacing_respected(self):
+        counts = [1] * 100
+        mispredicts = [1] * 50 + [0] * 50
+        sparse = ConfidenceCurve.from_statistics(
+            stats(counts, mispredicts)
+        ).sparsified(2.5)
+        xs = [p.dynamic_percent for p in sparse.points]
+        gaps = [b - a for a, b in zip(xs, xs[1:-1])]
+        ys = [p.misprediction_percent for p in sparse.points]
+        y_gaps = [b - a for a, b in zip(ys, ys[1:-1])]
+        assert all(
+            gap >= 2.5 - 1e-9 or ygap >= 2.5 - 1e-9
+            for gap, ygap in zip(gaps, y_gaps)
+        )
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 30), st.integers(0, 30)),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_monotone_non_decreasing(self, rows):
+        counts = [c for c, _ in rows]
+        mispredicts = [min(m, c) for (c, _), m in zip(rows, (m for _, m in rows))]
+        curve = ConfidenceCurve.from_statistics(stats(counts, mispredicts))
+        xs, ys = curve.as_series()
+        assert (np.diff(xs) >= -1e-9).all()
+        assert (np.diff(ys) >= -1e-9).all()
+        # Empirical sorting makes the curve concave-ish: every prefix is at
+        # least the diagonal.
+        assert all(y + 1e-6 >= x for x, y in zip(xs, ys)) or ys[-1] == 0
+
+
+class TestKnee:
+    def test_knee_of_steep_curve(self):
+        curve = ConfidenceCurve.from_statistics(
+            stats([10, 10, 80], [8, 2, 0])
+        )
+        knee = curve.knee()
+        # The knee sits where cumulative capture most exceeds the diagonal:
+        # after the two misprediction-heavy buckets (x=20, y=100).
+        assert knee.dynamic_percent == pytest.approx(20.0)
+        assert knee.misprediction_percent == pytest.approx(100.0)
+
+    def test_knee_empty_curve(self):
+        curve = ConfidenceCurve.from_statistics(BucketStatistics.zeros(3))
+        with pytest.raises(ValueError):
+            curve.knee()
+
+    def test_knee_on_diagonal_curve_is_valid_point(self):
+        curve = ConfidenceCurve.from_statistics(stats([5, 5], [1, 1]))
+        knee = curve.knee()
+        assert 0 < knee.dynamic_percent <= 100

@@ -1,0 +1,86 @@
+"""Unit tests for ASCII plotting and CSV export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BucketStatistics,
+    ConfidenceCurve,
+    ascii_curve_plot,
+    build_table1,
+    curves_to_csv,
+    format_curve_table,
+    table_to_csv,
+)
+from repro.analysis.export import curves_to_string
+from repro.analysis.metrics import ConfusionCounts
+from repro.analysis.plotting import format_metric_summary
+
+
+def make_curve(name="c"):
+    stats = BucketStatistics(
+        np.asarray([10.0, 10.0, 10.0]), np.asarray([9.0, 3.0, 0.0])
+    )
+    return ConfidenceCurve.from_statistics(stats, name=name)
+
+
+class TestAsciiPlot:
+    def test_renders_grid(self):
+        text = ascii_curve_plot([make_curve()], width=32, height=10, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert any("*" in line for line in lines)
+        assert "% of dynamic branches" in text
+
+    def test_multiple_curves_distinct_markers(self):
+        text = ascii_curve_plot([make_curve("a"), make_curve("b")])
+        assert "* a" in text and "o b" in text
+
+    def test_requires_curves(self):
+        with pytest.raises(ValueError):
+            ascii_curve_plot([])
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ascii_curve_plot([make_curve()], width=4, height=4)
+
+
+class TestCurveTable:
+    def test_interpolated_columns(self):
+        text = format_curve_table([make_curve("alpha")], x_positions=(20.0, 50.0))
+        assert "alpha" in text
+        assert "@20%" in text and "@50%" in text
+
+
+class TestMetricSummary:
+    def test_rows(self):
+        counts = ConfusionCounts(8, 1, 1, 2)
+        text = format_metric_summary({"m": counts})
+        assert "SENS" in text and "m" in text
+
+
+class TestCsvExport:
+    def test_curves_round_trip(self, tmp_path):
+        path = tmp_path / "curves.csv"
+        curves_to_csv([make_curve("x")], path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[0]["curve"] == "x"
+        assert float(rows[-1]["misprediction_percent"]) == pytest.approx(100.0)
+
+    def test_table_round_trip(self, tmp_path):
+        stats = BucketStatistics(np.asarray([5.0, 5.0]), np.asarray([3.0, 0.0]))
+        path = tmp_path / "table.csv"
+        table_to_csv(build_table1(stats), path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["count"] == "0"
+
+    def test_curves_to_string(self):
+        text = curves_to_string([make_curve("s")])
+        assert text.startswith("curve,")
+        assert "s," in text

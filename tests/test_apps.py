@@ -1,0 +1,122 @@
+"""Integration tests for the application models (reduced configuration)."""
+
+import pytest
+
+from repro.apps import (
+    evaluate_dual_path,
+    evaluate_hybrid_selector,
+    evaluate_reverser,
+    evaluate_smt_fetch,
+)
+from repro.experiments.config import ExperimentConfig
+
+CONFIG = ExperimentConfig(
+    benchmarks=("jpeg_play", "gcc"),
+    trace_length=20_000,
+)
+
+
+class TestDualPath:
+    def test_report_consistency(self):
+        report = evaluate_dual_path(CONFIG, fork_threshold=10)
+        assert 0 < report.fork_fraction < 1
+        assert 0 < report.misprediction_coverage <= 1
+        assert report.baseline_cycles_per_branch > 0
+        assert "fork" in report.format()
+
+    def test_threshold_zero_forks_least(self):
+        narrow = evaluate_dual_path(CONFIG, fork_threshold=0)
+        wide = evaluate_dual_path(CONFIG, fork_threshold=16)
+        assert narrow.fork_fraction < wide.fork_fraction
+        assert narrow.misprediction_coverage <= wide.misprediction_coverage
+
+    def test_threshold_max_forks_everything(self):
+        report = evaluate_dual_path(CONFIG, fork_threshold=16)
+        assert report.fork_fraction == pytest.approx(1.0)
+        assert report.misprediction_coverage == pytest.approx(1.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            evaluate_dual_path(CONFIG, fork_threshold=17)
+
+    def test_free_forks_always_win(self):
+        report = evaluate_dual_path(
+            CONFIG, fork_threshold=16, fork_cost=0.0,
+            forked_mispredict_penalty=0.0,
+        )
+        assert report.speedup > 1.0
+
+    def test_benchmarks_override(self):
+        report = evaluate_dual_path(CONFIG, benchmarks=("jpeg_play",))
+        assert set(report.per_benchmark_speedup) == {"jpeg_play"}
+
+
+class TestSMTFetch:
+    def test_gating_reduces_waste(self):
+        report = evaluate_smt_fetch(CONFIG, gate_threshold=7)
+        assert report.gated_waste_fraction < report.ungated_waste_fraction
+        assert report.gated_efficiency > report.ungated_efficiency
+        assert report.efficiency_gain > 0
+
+    def test_zero_threshold_gates_least(self):
+        narrow = evaluate_smt_fetch(CONFIG, gate_threshold=0)
+        wide = evaluate_smt_fetch(CONFIG, gate_threshold=16)
+        assert narrow.gated_stall_fraction < wide.gated_stall_fraction
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            evaluate_smt_fetch(CONFIG, gate_threshold=-1)
+
+    def test_format(self):
+        assert "gating" in evaluate_smt_fetch(CONFIG).format()
+
+
+class TestReverser:
+    def test_counter_reverser_inert(self):
+        """No resetting-counter bucket mispredicts >50% (paper Table 1)."""
+        report = evaluate_reverser(CONFIG)
+        assert report.counter_reversed_fraction == pytest.approx(0.0, abs=1e-4)
+        assert report.counter_reversed_accuracy == pytest.approx(
+            report.baseline_accuracy, abs=1e-6
+        )
+
+    def test_accuracies_are_probabilities(self):
+        report = evaluate_reverser(CONFIG)
+        for value in (
+            report.baseline_accuracy,
+            report.counter_reversed_accuracy,
+            report.pattern_reversed_accuracy,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_threshold_one_reverses_nothing(self):
+        report = evaluate_reverser(CONFIG, reverse_threshold=1.0)
+        assert report.pattern_reversed_fraction == 0.0
+
+    def test_format(self):
+        assert "reverser" in evaluate_reverser(CONFIG).format().lower()
+
+
+class TestHybridSelector:
+    def test_hybrids_beat_components(self):
+        report = evaluate_hybrid_selector(CONFIG)
+        assert report.mean_chooser >= report.mean_bimodal
+        assert report.mean_chooser >= report.mean_gshare - 0.01
+        assert report.mean_confidence >= report.mean_bimodal
+
+    def test_accuracies_are_probabilities(self):
+        report = evaluate_hybrid_selector(CONFIG)
+        for acc in report.per_benchmark.values():
+            for value in (
+                acc.bimodal, acc.gshare, acc.chooser_hybrid, acc.confidence_hybrid
+            ):
+                assert 0.0 < value <= 1.0
+
+    def test_benchmarks_override(self):
+        report = evaluate_hybrid_selector(CONFIG, benchmarks=("gcc",))
+        assert set(report.per_benchmark) == {"gcc"}
+
+    def test_format_contains_all_schemes(self):
+        text = evaluate_hybrid_selector(CONFIG).format()
+        for token in ("bimodal", "gshare", "chooser", "confid"):
+            assert token in text

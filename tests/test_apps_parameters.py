@@ -1,0 +1,99 @@
+"""Parameter-space behaviour of the application cost models.
+
+The analytic models must respond monotonically and sensibly to their
+cost knobs — these tests pin the directions so refactors cannot silently
+flip a sign.
+"""
+
+import pytest
+
+from repro.apps import evaluate_dual_path, evaluate_reverser, evaluate_smt_fetch
+from repro.experiments.config import ExperimentConfig
+from repro.pipeline.machine import FrontendReport
+
+CONFIG = ExperimentConfig(benchmarks=("gcc",), trace_length=12_000)
+
+
+class TestDualPathKnobs:
+    def test_higher_fork_cost_lowers_speedup(self):
+        cheap = evaluate_dual_path(CONFIG, fork_threshold=8, fork_cost=0.5)
+        pricey = evaluate_dual_path(CONFIG, fork_threshold=8, fork_cost=4.0)
+        assert cheap.speedup > pricey.speedup
+        # Coverage is cost-independent (same forks happen).
+        assert cheap.misprediction_coverage == pytest.approx(
+            pricey.misprediction_coverage
+        )
+
+    def test_higher_penalty_raises_fork_value(self):
+        mild = evaluate_dual_path(CONFIG, fork_threshold=8, mispredict_penalty=6.0)
+        harsh = evaluate_dual_path(CONFIG, fork_threshold=8, mispredict_penalty=24.0)
+        assert harsh.speedup > mild.speedup
+
+    def test_coverage_monotone_in_threshold(self):
+        coverages = [
+            evaluate_dual_path(CONFIG, fork_threshold=t).misprediction_coverage
+            for t in (0, 4, 8, 16)
+        ]
+        assert coverages == sorted(coverages)
+
+
+class TestSMTKnobs:
+    def test_recovered_fraction_bounds_gating_cost(self):
+        generous = evaluate_smt_fetch(CONFIG, recovered_fraction=1.0)
+        stingy = evaluate_smt_fetch(CONFIG, recovered_fraction=0.0)
+        assert generous.gated_efficiency >= stingy.gated_efficiency
+
+    def test_longer_resolution_increases_waste(self):
+        short = evaluate_smt_fetch(CONFIG, resolve_latency=4.0)
+        long = evaluate_smt_fetch(CONFIG, resolve_latency=16.0)
+        assert long.ungated_waste_fraction > short.ungated_waste_fraction
+
+
+class TestReverserKnobs:
+    def test_lower_threshold_reverses_more(self):
+        strict = evaluate_reverser(CONFIG, reverse_threshold=0.5)
+        loose = evaluate_reverser(CONFIG, reverse_threshold=0.3)
+        assert (
+            loose.pattern_reversed_fraction
+            >= strict.pattern_reversed_fraction
+        )
+
+    def test_below_half_threshold_can_hurt(self):
+        # Reversing buckets with training rate in (0.3, 0.5) flips
+        # majority-correct predictions; accuracy must not *improve* beyond
+        # the strict-threshold result by construction of the split.
+        strict = evaluate_reverser(CONFIG, reverse_threshold=0.5)
+        loose = evaluate_reverser(CONFIG, reverse_threshold=0.3)
+        assert loose.pattern_reversed_accuracy <= strict.pattern_reversed_accuracy + 0.01
+
+
+class TestFrontendReportProperties:
+    def make(self, **overrides):
+        base = dict(
+            cycles=100.0,
+            retired_instructions=400,
+            squashed_slots=40.0,
+            branches=80,
+            mispredictions=8,
+            forks=16,
+            covered_mispredictions=6,
+        )
+        base.update(overrides)
+        return FrontendReport(**base)
+
+    def test_ipc(self):
+        assert self.make().ipc == pytest.approx(4.0)
+        assert self.make(cycles=0.0).ipc == 0.0
+
+    def test_fractions(self):
+        report = self.make()
+        assert report.fork_fraction == pytest.approx(0.2)
+        assert report.misprediction_coverage == pytest.approx(0.75)
+        assert self.make(mispredictions=0).misprediction_coverage == 0.0
+
+    def test_speedup_over(self):
+        fast = self.make(cycles=80.0)
+        slow = self.make(cycles=100.0)
+        assert fast.speedup_over(slow) == pytest.approx(100.0 / 80.0)
+        zero = self.make(cycles=0.0)
+        assert fast.speedup_over(zero) == 0.0

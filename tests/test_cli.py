@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig5" in output
+        assert "table1" in output
+
+
+class TestRun:
+    def test_run_small_experiment(self, capsys):
+        code = main([
+            "run", "fig5",
+            "--length", "8000",
+            "--benchmarks", "jpeg_play",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "BHRxorPC" in output
+
+    def test_run_with_plot(self, capsys):
+        code = main([
+            "run", "fig2",
+            "--length", "8000",
+            "--benchmarks", "jpeg_play",
+            "--plot",
+        ])
+        assert code == 0
+        assert "% of dynamic branches" in capsys.readouterr().out
+
+    def test_run_with_csv(self, capsys, tmp_path):
+        out = tmp_path / "fig2.csv"
+        code = main([
+            "run", "fig2",
+            "--length", "8000",
+            "--benchmarks", "jpeg_play",
+            "--csv", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert out.read_text().startswith("curve,")
+
+    def test_table_csv(self, capsys, tmp_path):
+        out = tmp_path / "table1.csv"
+        code = main([
+            "run", "table1",
+            "--length", "8000",
+            "--benchmarks", "jpeg_play",
+            "--csv", str(out),
+        ])
+        assert code == 0
+        assert out.read_text().startswith("count,")
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "known ids" in capsys.readouterr().err
+
+
+class TestSuite:
+    def test_suite_listing(self, capsys):
+        assert main(["suite", "--length", "4000"]) == 0
+        output = capsys.readouterr().out
+        assert "gcc" in output
+        assert "mis%" in output
+
+
+class TestApps:
+    def test_dual_path(self, capsys):
+        code = main([
+            "apps", "dual-path",
+            "--length", "8000",
+            "--benchmarks", "jpeg_play",
+        ])
+        assert code == 0
+        assert "fork" in capsys.readouterr().out
+
+    def test_bad_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["apps", "teleporter"])
+
+
+class TestTrace:
+    def test_trace_dump(self, capsys, tmp_path):
+        out = tmp_path / "t.npz"
+        code = main([
+            "trace", "jpeg_play", "--length", "2000", "--out", str(out)
+        ])
+        assert code == 0
+        assert out.exists()
+
+        from repro.traces import load_trace
+
+        assert len(load_trace(out)) == 2000
+
+
+class TestRunAll:
+    def test_run_all_small(self, capsys):
+        code = main([
+            "run-all",
+            "--length", "4000",
+            "--benchmarks", "jpeg_play", "gcc",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        # Every registered experiment reported.
+        from repro.experiments import EXPERIMENTS
+
+        for experiment_id in EXPERIMENTS:
+            assert f"=== {experiment_id}:" in output

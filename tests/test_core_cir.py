@@ -1,0 +1,101 @@
+"""Unit tests for CIR registers and tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CIR, CIRTable
+from repro.core.init_policies import init_ones, init_random
+
+
+class TestCIR:
+    def test_paper_example(self):
+        # "correct 3 times, then incorrect, then 4 correct" -> 00010000.
+        cir = CIR(bits=8)
+        for correct in [True] * 3 + [False] + [True] * 4:
+            cir.record(correct)
+        assert cir.as_paper_string() == "00010000"
+        assert cir.value == 0b00010000
+
+    def test_bit0_is_most_recent(self):
+        cir = CIR(bits=4)
+        cir.record(False)
+        assert cir.value == 0b0001
+        cir.record(True)
+        assert cir.value == 0b0010
+
+    def test_window_drops_oldest(self):
+        cir = CIR(bits=2)
+        cir.record(False)
+        cir.record(True)
+        cir.record(True)
+        assert cir.value == 0  # the incorrect bit aged out
+
+    def test_ones_count(self):
+        cir = CIR(bits=8)
+        for correct in [False, True, False]:
+            cir.record(correct)
+        assert cir.ones_count() == 2
+
+    def test_initial_value_validation(self):
+        with pytest.raises(ValueError):
+            CIR(bits=4, initial=0x10)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=40))
+    def test_value_always_fits(self, history):
+        cir = CIR(bits=8)
+        for correct in history:
+            cir.record(correct)
+        assert 0 <= cir.value < 256
+
+
+class TestCIRTable:
+    def test_default_zero_init(self):
+        table = CIRTable(entries=8, cir_bits=4)
+        assert all(table.read(i) == 0 for i in range(8))
+
+    def test_ones_init(self):
+        table = CIRTable(entries=8, cir_bits=4, initializer=init_ones)
+        assert all(table.read(i) == 0xF for i in range(8))
+
+    def test_record_updates_only_target_entry(self):
+        table = CIRTable(entries=4, cir_bits=4)
+        table.record(2, correct=False)
+        assert table.read(2) == 1
+        assert table.read(1) == 0
+
+    def test_reset_reapplies_initializer(self):
+        table = CIRTable(entries=4, cir_bits=4, initializer=init_ones)
+        table.record(0, correct=True)
+        assert table.read(0) == 0b1110
+        table.reset()
+        assert table.read(0) == 0xF
+
+    def test_random_init_deterministic(self):
+        make = lambda: CIRTable(
+            entries=16, cir_bits=8,
+            initializer=lambda e, b: init_random(e, b, seed=5),
+        )
+        assert np.array_equal(make().snapshot(), make().snapshot())
+
+    def test_bad_initializer_shape(self):
+        with pytest.raises(ValueError, match="patterns"):
+            CIRTable(entries=4, cir_bits=4, initializer=lambda e, b: np.zeros(3))
+
+    def test_bad_initializer_width(self):
+        with pytest.raises(ValueError, match="wider"):
+            CIRTable(
+                entries=4, cir_bits=2,
+                initializer=lambda e, b: np.full(e, 9, dtype=np.uint32),
+            )
+
+    def test_geometry_accessors(self):
+        table = CIRTable(entries=1 << 10, cir_bits=16)
+        assert len(table) == 1024
+        assert table.num_patterns == 1 << 16
+        assert table.storage_bits == 1024 * 16
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            CIRTable(entries=7, cir_bits=4)

@@ -1,0 +1,115 @@
+"""Unit tests for counter-based confidence tables.
+
+Includes the paper-critical equivalence: a resetting-counter table equals
+a full CIR table (all-ones init) viewed through ResettingCountReduction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OneLevelConfidence,
+    ReducedEstimator,
+    ResettingCounterConfidence,
+    ResettingCountReduction,
+    SaturatingCounterConfidence,
+)
+from repro.core.base import BucketSemantics
+from repro.core.indexing import PCIndex, make_index
+from repro.core.init_policies import init_ones
+
+
+class TestSaturatingCounterConfidence:
+    def test_counts_up_on_correct(self):
+        estimator = SaturatingCounterConfidence(PCIndex(4), maximum=4)
+        for _ in range(6):
+            estimator.update(0x40, 0, 0, correct=True)
+        assert estimator.lookup(0x40, 0, 0) == 4  # saturated
+
+    def test_counts_down_on_incorrect(self):
+        estimator = SaturatingCounterConfidence(PCIndex(4), maximum=4, initial=3)
+        estimator.update(0x40, 0, 0, correct=False)
+        assert estimator.lookup(0x40, 0, 0) == 2
+
+    def test_floor_at_zero(self):
+        estimator = SaturatingCounterConfidence(PCIndex(4), maximum=4)
+        estimator.update(0x40, 0, 0, correct=False)
+        assert estimator.lookup(0x40, 0, 0) == 0
+
+    def test_paper_variant(self):
+        estimator = SaturatingCounterConfidence.paper_variant(index_bits=8)
+        assert estimator.maximum == 16
+        assert estimator.num_buckets == 17
+
+    def test_storage_bits(self):
+        estimator = SaturatingCounterConfidence(PCIndex(10), maximum=16)
+        # 0..16 needs 5 bits per counter.
+        assert estimator.storage_bits == (1 << 10) * 5
+
+
+class TestResettingCounterConfidence:
+    def test_resets_on_miss(self):
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=8)
+        for _ in range(5):
+            estimator.update(0x40, 0, 0, correct=True)
+        assert estimator.lookup(0x40, 0, 0) == 5
+        estimator.update(0x40, 0, 0, correct=False)
+        assert estimator.lookup(0x40, 0, 0) == 0
+
+    def test_saturates(self):
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=3)
+        for _ in range(10):
+            estimator.update(0x40, 0, 0, correct=True)
+        assert estimator.lookup(0x40, 0, 0) == 3
+
+    def test_ordered_semantics(self):
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=16)
+        assert estimator.semantics is BucketSemantics.ORDERED
+        assert list(estimator.bucket_order) == list(range(17))
+
+    def test_reset_restores_initial(self):
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=8, initial=2)
+        estimator.update(0x40, 0, 0, correct=True)
+        estimator.reset()
+        assert estimator.lookup(0x40, 0, 0) == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 15), st.booleans()),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_equivalent_to_reduced_cir_table(self, accesses):
+        """Paper Section 5.1: resetting counters can replace full CIRs.
+
+        With an all-ones-initialized CIR table of width == counter maximum,
+        the ResettingCountReduction of the CIR equals the hardware counter,
+        access for access.
+        """
+        maximum = 16
+        counter = ResettingCounterConfidence(PCIndex(4), maximum=maximum)
+        reduced = ReducedEstimator(
+            OneLevelConfidence(PCIndex(4), cir_bits=maximum, initializer=init_ones),
+            ResettingCountReduction(maximum),
+        )
+        for entry, correct in accesses:
+            pc = entry << 2
+            assert counter.lookup(pc, 0, 0) == reduced.lookup(pc, 0, 0)
+            counter.update(pc, 0, 0, correct)
+            reduced.update(pc, 0, 0, correct)
+
+
+class TestValidation:
+    def test_initial_bounds(self):
+        with pytest.raises(ValueError):
+            ResettingCounterConfidence(PCIndex(4), maximum=4, initial=5)
+
+    def test_snapshot_is_copy(self):
+        estimator = ResettingCounterConfidence(make_index("pc", 4), maximum=4)
+        snap = estimator.snapshot()
+        estimator.update(0, 0, 0, correct=True)
+        assert snap[0] == 0

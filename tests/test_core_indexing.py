@@ -1,0 +1,102 @@
+"""Unit tests for confidence-table index functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.indexing import (
+    BHRIndex,
+    ConcatIndex,
+    GlobalCIRIndex,
+    PCIndex,
+    XorIndex,
+    make_index,
+)
+
+pcs_strategy = st.integers(min_value=0, max_value=(1 << 30) - 1).map(lambda v: v * 4)
+values_strategy = st.integers(min_value=0, max_value=(1 << 20) - 1)
+
+
+class TestScalarIndexing:
+    def test_pc_index_drops_alignment_bits(self):
+        index = PCIndex(8)
+        assert index(0x404, 0, 0) == (0x404 >> 2) & 0xFF
+
+    def test_bhr_index(self):
+        index = BHRIndex(8)
+        assert index(0x404, 0x1234, 0) == 0x34
+
+    def test_gcir_index(self):
+        index = GlobalCIRIndex(8)
+        assert index(0, 0, 0xABC) == 0xBC
+
+    def test_xor_index(self):
+        index = XorIndex(8, use_pc=True, use_bhr=True)
+        assert index(0x40, 0b1111, 0) == ((0x40 >> 2) ^ 0b1111) & 0xFF
+
+    def test_xor_requires_a_source(self):
+        with pytest.raises(ValueError):
+            XorIndex(8)
+
+    def test_concat_layout(self):
+        index = ConcatIndex(8, fields=[("bhr", 4), ("pc", 4)])
+        # BHR occupies the low 4 bits, PC the high 4.
+        assert index(0x40, 0b0011, 0) == (((0x40 >> 2) & 0xF) << 4) | 0b0011
+
+    def test_concat_width_must_match(self):
+        with pytest.raises(ValueError, match="sum"):
+            ConcatIndex(8, fields=[("bhr", 4), ("pc", 3)])
+
+    def test_concat_unknown_source(self):
+        with pytest.raises(ValueError, match="source"):
+            ConcatIndex(8, fields=[("mystery", 8)])
+
+
+class TestNames:
+    def test_paper_labels(self):
+        assert PCIndex(16).name == "PC"
+        assert BHRIndex(16).name == "BHR"
+        assert XorIndex(16, use_pc=True, use_bhr=True).name == "BHRxorPC"
+        assert GlobalCIRIndex(16).name == "GCIR"
+
+    def test_make_index(self):
+        assert make_index("pc", 16).name == "PC"
+        assert make_index("bhr", 16).name == "BHR"
+        assert make_index("pc_xor_bhr", 16).name == "BHRxorPC"
+        with pytest.raises(ValueError):
+            make_index("nope", 16)
+
+
+class TestVectorizedEquivalence:
+    @given(
+        st.lists(
+            st.tuples(pcs_strategy, values_strategy, values_strategy),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_all_functions_match_scalar(self, rows):
+        pcs = np.asarray([r[0] for r in rows], dtype=np.int64)
+        bhrs = np.asarray([r[1] for r in rows], dtype=np.int64)
+        gcirs = np.asarray([r[2] for r in rows], dtype=np.int64)
+        functions = [
+            PCIndex(12),
+            BHRIndex(12),
+            GlobalCIRIndex(12),
+            XorIndex(12, use_pc=True, use_bhr=True),
+            XorIndex(12, use_pc=True, use_bhr=True, use_gcir=True),
+            ConcatIndex(12, fields=[("bhr", 6), ("pc", 6)]),
+        ]
+        for function in functions:
+            vectorized = function.vectorized(pcs, bhrs, gcirs)
+            scalar = [function(int(p), int(b), int(g)) for p, b, g in rows]
+            assert vectorized.tolist() == scalar, function.name
+
+    def test_indices_within_table(self):
+        index = XorIndex(10, use_pc=True, use_bhr=True)
+        pcs = np.arange(0, 4000, 4, dtype=np.int64)
+        bhrs = np.arange(1000, dtype=np.int64)
+        out = index.vectorized(pcs, bhrs, np.zeros(1000, dtype=np.int64))
+        assert out.min() >= 0
+        assert out.max() < index.table_entries

@@ -1,0 +1,53 @@
+"""Unit tests for CT initialization policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.init_policies import (
+    INIT_POLICIES,
+    init_lastbit,
+    init_ones,
+    init_random,
+    init_zeros,
+    make_initial_patterns,
+)
+
+
+class TestPolicies:
+    def test_ones(self):
+        patterns = init_ones(8, 4)
+        assert (patterns == 0xF).all()
+
+    def test_zeros(self):
+        assert (init_zeros(8, 4) == 0).all()
+
+    def test_lastbit_sets_only_oldest(self):
+        patterns = init_lastbit(8, 16)
+        assert (patterns == 1 << 15).all()
+
+    def test_random_within_width(self):
+        patterns = init_random(1000, 6, seed=3)
+        assert patterns.max() < 64
+        assert patterns.min() >= 0
+        # A thousand 6-bit draws should not all be equal.
+        assert np.unique(patterns).size > 1
+
+    def test_random_deterministic_per_seed(self):
+        assert np.array_equal(init_random(64, 8, 1), init_random(64, 8, 1))
+        assert not np.array_equal(init_random(64, 8, 1), init_random(64, 8, 2))
+
+
+class TestFactory:
+    def test_named_policies(self):
+        for name in INIT_POLICIES:
+            patterns = make_initial_patterns(name)(16, 8)
+            assert patterns.shape == (16,)
+
+    def test_random_factory_threads_seed(self):
+        a = make_initial_patterns("random", seed=9)(32, 8)
+        b = make_initial_patterns("random", seed=9)(32, 8)
+        assert np.array_equal(a, b)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown init policy"):
+            make_initial_patterns("sparkle")

@@ -1,0 +1,121 @@
+"""Unit tests for the one- and two-level confidence estimators."""
+
+import pytest
+
+from repro.core import BucketSemantics, OneLevelConfidence, TwoLevelConfidence
+from repro.core.indexing import PCIndex, make_index
+from repro.core.init_policies import init_ones, init_zeros
+from repro.utils.bits import bit_mask
+
+
+class TestOneLevelConfidence:
+    def test_default_initialization_all_ones(self):
+        estimator = OneLevelConfidence(PCIndex(4), cir_bits=8)
+        assert estimator.lookup(0x40, 0, 0) == 0xFF
+
+    def test_lookup_is_pure(self):
+        estimator = OneLevelConfidence(PCIndex(4), cir_bits=8)
+        before = estimator.lookup(0x40, 0, 0)
+        estimator.lookup(0x40, 0, 0)
+        assert estimator.lookup(0x40, 0, 0) == before
+
+    def test_update_shifts_correctness(self):
+        estimator = OneLevelConfidence(PCIndex(4), cir_bits=4, initializer=init_zeros)
+        estimator.update(0x40, 0, 0, correct=False)
+        estimator.update(0x40, 0, 0, correct=True)
+        assert estimator.lookup(0x40, 0, 0) == 0b10
+
+    def test_entries_isolated_by_index(self):
+        estimator = OneLevelConfidence(PCIndex(4), cir_bits=4, initializer=init_zeros)
+        estimator.update(0x40, 0, 0, correct=False)
+        assert estimator.lookup(0x44, 0, 0) == 0
+
+    def test_bhr_indexing_separates_contexts(self):
+        estimator = OneLevelConfidence(
+            make_index("pc_xor_bhr", 8), cir_bits=4, initializer=init_zeros
+        )
+        estimator.update(0x40, 0b0001, 0, correct=False)
+        assert estimator.lookup(0x40, 0b0001, 0) == 1
+        assert estimator.lookup(0x40, 0b0010, 0) == 0
+
+    def test_reset(self):
+        estimator = OneLevelConfidence(PCIndex(4), cir_bits=4)
+        estimator.update(0x40, 0, 0, correct=True)
+        estimator.reset()
+        assert estimator.lookup(0x40, 0, 0) == 0xF
+
+    def test_metadata(self):
+        estimator = OneLevelConfidence(make_index("pc_xor_bhr", 10), cir_bits=12)
+        assert estimator.num_buckets == 1 << 12
+        assert estimator.semantics is BucketSemantics.EMPIRICAL
+        assert estimator.bucket_order is None
+        assert estimator.storage_bits == (1 << 10) * 12
+        assert "BHRxorPC" in estimator.name
+
+    def test_paper_variant_factory(self):
+        estimator = OneLevelConfidence.paper_variant("bhr", index_bits=8, cir_bits=8)
+        assert estimator.index_function.name == "BHR"
+
+
+class TestTwoLevelConfidence:
+    def make(self, **kwargs):
+        return TwoLevelConfidence(
+            PCIndex(4),
+            level1_cir_bits=4,
+            level2_cir_bits=4,
+            initializer=init_zeros,
+            **kwargs,
+        )
+
+    def test_initial_lookup(self):
+        estimator = self.make()
+        assert estimator.lookup(0x40, 0, 0) == 0
+
+    def test_update_trains_both_levels(self):
+        estimator = self.make()
+        estimator.update(0x40, 0, 0, correct=False)
+        # Level 1 entry for PC 0x40 now holds 0001.
+        assert estimator.level1.read((0x40 >> 2) & 0xF) == 1
+        # Level 2 entry 0 (the pre-update CIR) recorded the miss.
+        assert estimator.level2.read(0) == 1
+
+    def test_level2_uses_pre_update_level1_cir(self):
+        estimator = self.make()
+        estimator.update(0x40, 0, 0, correct=False)   # l1: 0 -> 1, l2[0] <- 1
+        estimator.update(0x40, 0, 0, correct=True)    # l1: 1 -> 2, l2[1] <- 0
+        # Lookup now reads l1=2 then l2[2] (never written, still zero init).
+        assert estimator.lookup(0x40, 0, 0) == 0
+        assert estimator.level2.read(1) == 0b0
+
+    def test_second_level_xor_variant(self):
+        estimator = self.make(second_use_pc=True, second_use_bhr=True)
+        # Level-2 index mixes in PC and BHR.
+        estimator.update(0x40, 0b0011, 0, correct=False)
+        expected_index = (0 ^ (0x40 >> 2) ^ 0b0011) & 0xF
+        assert estimator.level2.read(expected_index) == 1
+
+    def test_paper_variant_names(self):
+        assert "PC-CIR" in TwoLevelConfidence.pc_then_cir(4, 4, 4).name
+        assert "BHRxorPC-CIR" in TwoLevelConfidence.xor_then_cir(4, 4, 4).name
+        xor3 = TwoLevelConfidence.xor_then_xor(4, 4, 4)
+        assert "CIRxorPCxorBHR" in xor3.name
+
+    def test_metadata(self):
+        estimator = TwoLevelConfidence(
+            PCIndex(6), level1_cir_bits=8, level2_cir_bits=10
+        )
+        assert estimator.num_buckets == 1 << 10
+        assert estimator.semantics is BucketSemantics.EMPIRICAL
+        assert estimator.storage_bits == (1 << 6) * 8 + (1 << 8) * 10
+
+    def test_default_initializer_is_ones(self):
+        estimator = TwoLevelConfidence(PCIndex(4), 4, 4)
+        # Both tables all ones: lookup reads level2[level1 CIR = 0xF].
+        assert estimator.lookup(0x40, 0, 0) == 0xF
+
+    def test_reset(self):
+        estimator = self.make()
+        estimator.update(0x40, 0, 0, correct=False)
+        estimator.reset()
+        assert estimator.level1.read((0x40 >> 2) & 0xF) == 0
+        assert estimator.level2.read(0) == 0

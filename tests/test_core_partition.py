@@ -1,0 +1,115 @@
+"""Unit tests for multi-level confidence partitions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import BucketStatistics, ConfidenceCurve
+from repro.core.counters import ResettingCounterConfidence
+from repro.core.indexing import PCIndex
+from repro.core.partition import (
+    ConfidencePartition,
+    class_rates_dict,
+    summarize_partition,
+)
+
+
+def make_estimator(maximum=4):
+    return ResettingCounterConfidence(PCIndex(4), maximum=maximum)
+
+
+def make_statistics():
+    # Buckets 0..4 with decreasing rates.
+    counts = np.asarray([10.0, 10.0, 10.0, 10.0, 60.0])
+    mispredicts = np.asarray([8.0, 4.0, 2.0, 1.0, 0.0])
+    return BucketStatistics(counts, mispredicts)
+
+
+class TestConstruction:
+    def test_explicit_classes(self):
+        partition = ConfidencePartition(make_estimator(), [[0], [1, 2]])
+        assert partition.num_classes == 2
+        assert partition.class_of_bucket(0) == 0
+        assert partition.class_of_bucket(1) == 1
+        # Unassigned buckets land in the last (most confident) class.
+        assert partition.class_of_bucket(4) == 1
+
+    def test_duplicate_bucket_rejected(self):
+        with pytest.raises(ValueError, match="two classes"):
+            ConfidencePartition(make_estimator(), [[0], [0]])
+
+    def test_out_of_range_bucket_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            ConfidencePartition(make_estimator(), [[99]])
+
+    def test_empty_partition_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidencePartition(make_estimator(), [])
+
+
+class TestFromCurve:
+    def make_curve(self):
+        return ConfidenceCurve.from_statistics(
+            make_statistics(), order=range(5), name="t"
+        )
+
+    def test_boundaries_split_by_start_position(self):
+        partition = ConfidencePartition.from_curve(
+            make_estimator(), self.make_curve(), boundaries_percent=[15.0, 40.0]
+        )
+        # Cumulative starts: b0@0, b1@10, b2@20, b3@30, b4@40.
+        assert partition.class_of_bucket(0) == 0
+        assert partition.class_of_bucket(1) == 0
+        assert partition.class_of_bucket(2) == 1
+        assert partition.class_of_bucket(3) == 1
+        assert partition.class_of_bucket(4) == 2
+
+    def test_narrow_first_class_keeps_first_bucket(self):
+        # Even a 1% first class owns the first (coarse) bucket.
+        partition = ConfidencePartition.from_curve(
+            make_estimator(), self.make_curve(), boundaries_percent=[1.0]
+        )
+        assert partition.class_of_bucket(0) == 0
+        assert partition.class_of_bucket(1) == 1
+
+    def test_invalid_boundaries(self):
+        curve = self.make_curve()
+        with pytest.raises(ValueError):
+            ConfidencePartition.from_curve(make_estimator(), curve, [40.0, 15.0])
+        with pytest.raises(ValueError):
+            ConfidencePartition.from_curve(make_estimator(), curve, [0.0])
+        with pytest.raises(ValueError):
+            ConfidencePartition.from_curve(make_estimator(), curve, [100.0])
+
+
+class TestUse:
+    def test_classify_follows_estimator(self):
+        estimator = make_estimator()
+        partition = ConfidencePartition(estimator, [[0, 1], [2, 3, 4]])
+        # Fresh counter is 0 -> class 0.
+        assert partition.classify(0x40, 0, 0) == 0
+        for _ in range(4):
+            partition.update(0x40, 0, 0, correct=True)
+        assert partition.classify(0x40, 0, 0) == 1
+
+    def test_classify_stream(self):
+        partition = ConfidencePartition(make_estimator(), [[0, 1], [2, 3, 4]])
+        out = partition.classify_stream(np.asarray([0, 2, 4, 1]))
+        assert out.tolist() == [0, 1, 1, 0]
+
+    def test_class_statistics(self):
+        partition = ConfidencePartition(make_estimator(), [[0, 1], [2, 3, 4]])
+        grouped = partition.class_statistics(make_statistics())
+        assert grouped.counts.tolist() == [20.0, 80.0]
+        assert grouped.mispredicts.tolist() == [12.0, 3.0]
+
+
+class TestSummaries:
+    def test_summarize(self):
+        partition = ConfidencePartition(make_estimator(), [[0, 1], [2, 3, 4]])
+        summaries = summarize_partition(partition, make_statistics())
+        assert len(summaries) == 2
+        assert summaries[0].branch_percent == pytest.approx(20.0)
+        assert summaries[0].misprediction_percent == pytest.approx(80.0)
+        assert summaries[0].misprediction_rate == pytest.approx(0.6)
+        rates = class_rates_dict(summaries)
+        assert rates[0] > rates[1]

@@ -1,0 +1,100 @@
+"""Unit tests for static profile confidence and the threshold wrapper."""
+
+import pytest
+
+from repro.core import (
+    ConfidenceSignal,
+    StaticProfileConfidence,
+    ThresholdConfidence,
+)
+from repro.core.base import BucketSemantics
+from repro.core.counters import ResettingCounterConfidence
+from repro.core.indexing import PCIndex
+
+
+class TestStaticProfileConfidence:
+    def make(self):
+        # pc 4: 50% mispredict, pc 8: 10%, pc 12: 0%.
+        return StaticProfileConfidence.from_counts(
+            {4: (10, 5), 8: (10, 1), 12: (10, 0)}
+        )
+
+    def test_rank_order(self):
+        estimator = self.make()
+        assert estimator.bucket_for_pc(4) == 0
+        assert estimator.bucket_for_pc(8) == 1
+        assert estimator.bucket_for_pc(12) == 2
+
+    def test_unknown_pc_gets_confident_bucket(self):
+        estimator = self.make()
+        assert estimator.bucket_for_pc(999) == 3
+        assert estimator.profiled_misprediction_rate(3) == 0.0
+
+    def test_profiled_rates(self):
+        estimator = self.make()
+        assert estimator.profiled_misprediction_rate(0) == pytest.approx(0.5)
+        assert estimator.profiled_misprediction_rate(2) == 0.0
+
+    def test_lookup_matches_bucket(self):
+        estimator = self.make()
+        assert estimator.lookup(8, 0xFFFF, 0) == 1  # history irrelevant
+
+    def test_semantics(self):
+        estimator = self.make()
+        assert estimator.semantics is BucketSemantics.ORDERED
+        assert list(estimator.bucket_order) == [0, 1, 2, 3]
+        assert estimator.num_buckets == 4
+        assert estimator.storage_bits == 0
+
+    def test_deterministic_tie_break(self):
+        estimator = StaticProfileConfidence.from_counts(
+            {8: (10, 5), 4: (10, 5)}
+        )
+        # Equal rates: lower PC ranks first.
+        assert estimator.bucket_for_pc(4) == 0
+        assert estimator.bucket_for_pc(8) == 1
+
+    def test_update_and_reset_are_noops(self):
+        estimator = self.make()
+        estimator.update(4, 0, 0, correct=False)
+        estimator.reset()
+        assert estimator.bucket_for_pc(4) == 0
+
+    def test_zero_execution_branch(self):
+        estimator = StaticProfileConfidence.from_counts({4: (0, 0), 8: (10, 5)})
+        # The never-executed branch has rate 0 and ranks after the 50% one.
+        assert estimator.bucket_for_pc(8) == 0
+        assert estimator.bucket_for_pc(4) == 1
+
+
+class TestThresholdConfidence:
+    def make(self, low_buckets=(0, 1, 2)):
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=8)
+        return ThresholdConfidence(estimator, low_buckets)
+
+    def test_low_signal_after_miss(self):
+        threshold = self.make()
+        threshold.update(0x40, 0, 0, correct=False)
+        assert threshold.signal(0x40, 0, 0) is ConfidenceSignal.LOW
+
+    def test_high_signal_after_run_of_corrects(self):
+        threshold = self.make()
+        for _ in range(5):
+            threshold.update(0x40, 0, 0, correct=True)
+        assert threshold.signal(0x40, 0, 0) is ConfidenceSignal.HIGH
+
+    def test_out_of_range_buckets_rejected(self):
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=4)
+        with pytest.raises(ValueError, match="bucket range"):
+            ThresholdConfidence(estimator, [99])
+
+    def test_reset_propagates(self):
+        threshold = self.make()
+        for _ in range(5):
+            threshold.update(0x40, 0, 0, correct=True)
+        threshold.reset()
+        assert threshold.signal(0x40, 0, 0) is ConfidenceSignal.LOW
+
+    def test_signal_values(self):
+        assert int(ConfidenceSignal.LOW) == 0
+        assert int(ConfidenceSignal.HIGH) == 1

@@ -1,0 +1,145 @@
+"""Cross-module invariants: curves, metrics, and partitions must agree.
+
+These properties pin down the relationships the experiments rely on:
+the y-value of a confidence curve at a threshold *is* the sensitivity of
+the corresponding binary split, partitions conserve mass, and explicit
+full orders end where empirical orders end (100/100).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BucketStatistics,
+    ConfidenceCurve,
+    confidence_metrics,
+    equal_weight_combine,
+)
+from repro.core.counters import ResettingCounterConfidence
+from repro.core.indexing import PCIndex
+from repro.core.partition import ConfidencePartition
+
+
+def statistics_strategy(max_buckets=8, max_count=40):
+    def build(rows):
+        counts = np.asarray([c for c, _ in rows], dtype=float)
+        mispredicts = np.asarray(
+            [min(m, c) for c, m in rows], dtype=float
+        )
+        return BucketStatistics(counts, mispredicts)
+
+    return st.lists(
+        st.tuples(st.integers(0, max_count), st.integers(0, max_count)),
+        min_size=1,
+        max_size=max_buckets,
+    ).map(build)
+
+
+class TestCurveMetricsAgreement:
+    @given(statistics_strategy())
+    def test_curve_value_is_sensitivity(self, stats):
+        """At any curve point, y% == SENS of the prefix split * 100."""
+        if stats.total == 0 or stats.total_mispredicts == 0:
+            return
+        curve = ConfidenceCurve.from_statistics(stats)
+        for point in curve.points:
+            low = curve.low_confidence_buckets(point.dynamic_percent + 1e-6)
+            counts = confidence_metrics(stats, low)
+            assert counts.sensitivity * 100 == pytest.approx(
+                point.misprediction_percent, abs=1e-6
+            )
+
+    @given(statistics_strategy())
+    def test_curve_x_is_low_fraction(self, stats):
+        if stats.total == 0:
+            return
+        curve = ConfidenceCurve.from_statistics(stats)
+        for point in curve.points:
+            low = curve.low_confidence_buckets(point.dynamic_percent + 1e-6)
+            counts = confidence_metrics(stats, low)
+            assert counts.low_fraction * 100 == pytest.approx(
+                point.dynamic_percent, abs=1e-6
+            )
+
+
+class TestOrderCompleteness:
+    @given(statistics_strategy())
+    def test_full_explicit_order_reaches_100(self, stats):
+        if stats.total == 0:
+            return
+        curve = ConfidenceCurve.from_statistics(
+            stats, order=range(stats.num_buckets)
+        )
+        assert curve.points[-1].dynamic_percent == pytest.approx(100.0)
+        assert curve.points[-1].misprediction_percent == pytest.approx(100.0)
+
+    @given(statistics_strategy())
+    def test_empirical_curve_dominates_any_explicit_order(self, stats):
+        """The empirical (ideal) order is optimal: no explicit order can
+        capture more at any of its own points."""
+        if stats.total == 0 or stats.total_mispredicts == 0:
+            return
+        ideal = ConfidenceCurve.from_statistics(stats)
+        reversed_order = ConfidenceCurve.from_statistics(
+            stats, order=range(stats.num_buckets - 1, -1, -1)
+        )
+        for point in reversed_order.points:
+            assert (
+                ideal.mispredictions_captured_at(point.dynamic_percent)
+                >= point.misprediction_percent - 1e-6
+            )
+
+
+class TestPartitionConservation:
+    @given(statistics_strategy(max_buckets=5))
+    def test_class_statistics_conserve_mass(self, stats):
+        estimator = ResettingCounterConfidence(
+            PCIndex(4), maximum=stats.num_buckets - 1
+        ) if stats.num_buckets > 1 else None
+        if estimator is None:
+            return
+        partition = ConfidencePartition(
+            estimator, [[0], list(range(1, stats.num_buckets))]
+        )
+        grouped = partition.class_statistics(stats)
+        assert grouped.total == pytest.approx(stats.total)
+        assert grouped.total_mispredicts == pytest.approx(
+            stats.total_mispredicts
+        )
+
+
+class TestWeightingInvariance:
+    @given(statistics_strategy(max_buckets=4), statistics_strategy(max_buckets=4))
+    def test_combination_commutes(self, a, b):
+        if a.num_buckets != b.num_buckets:
+            return
+        ab = equal_weight_combine([a, b])
+        ba = equal_weight_combine([b, a])
+        assert np.allclose(ab.counts, ba.counts)
+        assert np.allclose(ab.mispredicts, ba.mispredicts)
+
+    @given(statistics_strategy(max_buckets=4))
+    def test_self_combination_preserves_rates(self, stats):
+        if stats.total == 0:
+            return
+        combined = equal_weight_combine([stats, stats])
+        for bucket in range(stats.num_buckets):
+            assert combined.bucket_rate(bucket) == pytest.approx(
+                stats.bucket_rate(bucket)
+            )
+
+    @given(statistics_strategy(max_buckets=4))
+    def test_scaling_does_not_change_curve(self, stats):
+        """Curves depend only on proportions, not absolute counts."""
+        if stats.total == 0 or stats.total_mispredicts == 0:
+            return
+        curve_a = ConfidenceCurve.from_statistics(stats)
+        curve_b = ConfidenceCurve.from_statistics(stats.scaled(7.0))
+        for pa, pb in zip(curve_a.points, curve_b.points):
+            assert pa.dynamic_percent == pytest.approx(pb.dynamic_percent)
+            assert pa.misprediction_percent == pytest.approx(
+                pb.misprediction_percent
+            )
+            assert pa.bucket == pb.bucket

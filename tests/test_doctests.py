@@ -1,0 +1,34 @@
+"""Run the library's doctest examples (docstrings are tested API)."""
+
+import doctest
+
+import pytest
+
+import repro.core.cir
+import repro.predictors.counters
+import repro.utils.bits
+import repro.utils.rng
+import repro.utils.runlength
+import repro.workloads.behaviors
+
+MODULES = [
+    repro.utils.bits,
+    repro.utils.rng,
+    repro.utils.runlength,
+    repro.core.cir,
+    repro.predictors.counters,
+    repro.workloads.behaviors,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+
+
+def test_package_doctest():
+    import repro
+
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

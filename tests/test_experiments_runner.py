@@ -1,0 +1,121 @@
+"""Unit tests for the shared experiment runner helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.buckets import BucketStatistics
+from repro.core.indexing import GlobalCIRIndex, XorIndex
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    one_level_pattern_statistics,
+    ones_init,
+    per_benchmark_map,
+    resetting_counter_statistics,
+    saturating_counter_statistics,
+    static_branch_statistics,
+    suite_misprediction_rate,
+    suite_streams,
+    two_level_pattern_statistics,
+)
+
+CONFIG = ExperimentConfig(
+    benchmarks=("jpeg_play", "gcc"),
+    trace_length=6_000,
+)
+
+
+class TestSuiteStreams:
+    def test_one_stream_per_benchmark(self):
+        streams = suite_streams(CONFIG)
+        assert set(streams) == {"jpeg_play", "gcc"}
+        for stream in streams.values():
+            assert stream.num_branches == 6_000
+
+    def test_misprediction_rate_is_mean(self):
+        streams = suite_streams(CONFIG)
+        expected = np.mean([s.misprediction_rate for s in streams.values()])
+        assert suite_misprediction_rate(CONFIG) == pytest.approx(expected)
+
+    def test_small_predictor_config(self):
+        small = CONFIG.small_predictor
+        streams = suite_streams(small)
+        # Different predictor geometry gives a different correctness stream.
+        large_streams = suite_streams(CONFIG)
+        assert not np.array_equal(
+            streams["gcc"].correct, large_streams["gcc"].correct
+        )
+
+
+class TestStatisticsHelpers:
+    def test_one_level_totals(self):
+        stats = one_level_pattern_statistics(CONFIG, "pc_xor_bhr")
+        for benchmark_stats in stats.values():
+            assert benchmark_stats.total == 6_000
+            assert benchmark_stats.num_buckets == 1 << CONFIG.cir_bits
+
+    def test_one_level_consistent_mispredicts(self):
+        stats = one_level_pattern_statistics(CONFIG, "pc")
+        streams = suite_streams(CONFIG)
+        for name, benchmark_stats in stats.items():
+            assert benchmark_stats.total_mispredicts == pytest.approx(
+                streams[name].num_mispredicts
+            )
+
+    def test_custom_index_function(self):
+        index = XorIndex(10, use_pc=True)
+        stats = one_level_pattern_statistics(CONFIG, index_function=index)
+        assert set(stats) == {"jpeg_play", "gcc"}
+
+    def test_gcir_index_function_uses_gcir_stream(self):
+        stats = one_level_pattern_statistics(
+            CONFIG, index_function=GlobalCIRIndex(10)
+        )
+        for benchmark_stats in stats.values():
+            assert benchmark_stats.total == 6_000
+
+    def test_two_level_totals(self):
+        stats = two_level_pattern_statistics(CONFIG, "pc_xor_bhr")
+        for benchmark_stats in stats.values():
+            assert benchmark_stats.total == 6_000
+
+    def test_resetting_bucket_count(self):
+        stats = resetting_counter_statistics(CONFIG, maximum=8)
+        for benchmark_stats in stats.values():
+            assert benchmark_stats.num_buckets == 9
+
+    def test_resetting_small_table_override(self):
+        full = resetting_counter_statistics(CONFIG, maximum=8)
+        small = resetting_counter_statistics(CONFIG, maximum=8, ct_index_bits=7)
+        # The override changes the table (different distributions) but the
+        # accounting stays exact.
+        assert small["gcc"].total == full["gcc"].total == 6_000
+        assert small["gcc"].total_mispredicts == full["gcc"].total_mispredicts
+        assert not np.array_equal(small["gcc"].counts, full["gcc"].counts)
+
+    def test_saturating_bucket_count(self):
+        stats = saturating_counter_statistics(CONFIG, maximum=4)
+        for benchmark_stats in stats.values():
+            assert benchmark_stats.num_buckets == 5
+
+    def test_static_statistics_bucket_per_site(self):
+        stats = static_branch_statistics(CONFIG)
+        streams = suite_streams(CONFIG)
+        for name, benchmark_stats in stats.items():
+            assert benchmark_stats.num_buckets == np.unique(
+                streams[name].pcs
+            ).size
+
+    def test_per_benchmark_map(self):
+        def build(name, streams):
+            return BucketStatistics.from_streams(
+                np.zeros(streams.num_branches, dtype=np.int64),
+                streams.correct,
+                num_buckets=1,
+            )
+
+        stats = per_benchmark_map(CONFIG, build)
+        assert set(stats) == {"jpeg_play", "gcc"}
+        assert stats["gcc"].total == 6_000
+
+    def test_ones_init_width(self):
+        assert ones_init(CONFIG) == (1 << CONFIG.cir_bits) - 1

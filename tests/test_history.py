@@ -1,0 +1,64 @@
+"""Unit tests for the global history registers."""
+
+import pytest
+
+from repro.history import GlobalCIR, GlobalHistoryRegister, ShiftRegister
+
+
+class TestShiftRegister:
+    def test_initial_value(self):
+        assert ShiftRegister(4).value == 0
+        assert ShiftRegister(4, initial=0b1010).value == 0b1010
+
+    def test_shift_in(self):
+        register = ShiftRegister(4)
+        for bit in [1, 0, 1, 1]:
+            register.shift_in(bit)
+        assert register.value == 0b1011
+
+    def test_oldest_bit_drops(self):
+        register = ShiftRegister(2, initial=0b11)
+        register.shift_in(0)
+        assert register.value == 0b10
+
+    def test_invalid_bit(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(4).shift_in(2)
+
+    def test_invalid_initial(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(2, initial=0b100)
+
+    def test_reset(self):
+        register = ShiftRegister(4, initial=0xF)
+        register.reset()
+        assert register.value == 0
+        register.reset(0b101)
+        assert register.value == 0b101
+        with pytest.raises(ValueError):
+            register.reset(0x10)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(0)
+
+
+class TestGlobalHistoryRegister:
+    def test_records_taken_as_one(self):
+        bhr = GlobalHistoryRegister(4)
+        bhr.record_outcome(1)
+        bhr.record_outcome(0)
+        assert bhr.value == 0b10
+
+    def test_truthiness_of_outcome(self):
+        bhr = GlobalHistoryRegister(4)
+        bhr.record_outcome(5)  # any truthy direction counts as taken
+        assert bhr.value == 1
+
+
+class TestGlobalCIR:
+    def test_incorrect_is_one(self):
+        gcir = GlobalCIR(4)
+        gcir.record_correctness(False)
+        gcir.record_correctness(True)
+        assert gcir.value == 0b10

@@ -1,0 +1,113 @@
+"""Paper-claim integration tests at moderate scale.
+
+The full-scale checks live in benchmarks/ (one per figure); these run the
+same claims on a half-scale configuration so a plain ``pytest tests/``
+still exercises every experiment end-to-end, in about half a minute.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.experiments.config import ExperimentConfig
+
+#: Half-length suite; all eight benchmarks so cross-benchmark claims hold.
+CONFIG = ExperimentConfig(trace_length=60_000)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return get_experiment("fig5").run(CONFIG)
+
+
+class TestHeadlineOrdering:
+    def test_index_ordering(self, fig5):
+        """Fig. 5: PCxorBHR > BHR > PC at the 20% point."""
+        at = fig5.at_headline
+        assert at["BHRxorPC"] > at["BHR"] > at["PC"]
+
+    def test_dynamic_beats_static(self, fig5):
+        """Fig. 5 vs Fig. 2: the best dynamic method clearly beats the
+        idealized static method."""
+        static_at = fig5.static_curve.mispredictions_captured_at(20.0)
+        assert fig5.at_headline["BHRxorPC"] > static_at + 5.0
+
+    def test_zero_bucket_structure(self, fig5):
+        """The all-zeros CIR holds most branches but few mispredictions."""
+        assert fig5.zero_bucket_branch_percent > 40.0
+        assert fig5.zero_bucket_misprediction_percent < 20.0
+
+
+class TestOneVersusTwoLevel:
+    def test_second_level_not_worth_it(self):
+        result = get_experiment("fig7").run(CONFIG)
+        assert result.one_level_wins
+
+
+class TestReductions:
+    def test_resetting_close_to_ideal(self):
+        result = get_experiment("fig8").run(CONFIG)
+        ideal = result.at_headline["BHRxorPC (ideal)"]
+        reset = result.at_headline["BHRxorPC.Reset"]
+        assert ideal - reset <= 8.0  # "tracks the ideal curve closely"
+
+    def test_saturating_max_bucket_bloats(self):
+        result = get_experiment("fig8").run(CONFIG)
+        top = result.top_bucket_misprediction_percent
+        assert top["BHRxorPC.Sat"] > top["BHRxorPC.Reset"] * 1.2
+
+
+class TestTable1Claims:
+    def test_rate_monotonic_big_picture(self):
+        table = get_experiment("table1").run(CONFIG).table
+        rates = [row.misprediction_rate for row in table.rows]
+        assert rates[0] > 0.15
+        assert rates[0] > rates[4] > rates[16]
+
+    def test_count_zero_below_reversal_threshold(self):
+        """The reverser's obstacle: even count 0 stays below 50%."""
+        table = get_experiment("table1").run(CONFIG).table
+        assert table.row(0).misprediction_rate < 0.5
+
+
+class TestBenchmarkVariation:
+    def test_gcc_worst(self):
+        result = get_experiment("fig9").run(CONFIG)
+        assert result.worst_benchmark == "gcc"
+
+
+class TestSmallTables:
+    def test_graceful_degradation(self):
+        result = get_experiment("fig10").run(CONFIG)
+        at = result.at_headline
+        assert at[4096] > at[128]
+
+
+class TestInitialization:
+    def test_zeros_much_worse(self):
+        result = get_experiment("fig11").run(CONFIG)
+        assert result.zero_is_worst
+        assert result.at_headline["one"] > result.at_headline["zero"] + 3.0
+
+
+class TestExtensions:
+    def test_multilevel_classes_rate_ordered(self):
+        result = get_experiment("extension-multilevel").run(CONFIG)
+        assert result.classes_strictly_ordered
+        assert all(s.branch_percent > 0 for s in result.summaries)
+
+    def test_metrics_ranking_matches_curves(self):
+        result = get_experiment("extension-metrics").run(CONFIG)
+        sens = {
+            name: counts.sensitivity for name, counts in result.metrics.items()
+        }
+        # The curve ordering at 20% must survive in SENS terms.
+        assert sens["one-level ideal (BHRxorPC)"] >= sens["one-level ideal (PC)"]
+        assert sens["resetting counters"] >= sens["saturating counters"] - 0.02
+        # PVP of every mechanism exceeds the baseline accuracy (the high
+        # set is purer than average), and PVN exceeds the baseline
+        # misprediction rate (the low set is dirtier than average).
+        for counts in result.metrics.values():
+            total = counts.total
+            baseline_accuracy = (counts.high_correct + counts.low_correct) / total
+            assert counts.predictive_value_positive >= baseline_accuracy
+            assert counts.predictive_value_negative >= 1 - baseline_accuracy

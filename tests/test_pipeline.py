@@ -1,0 +1,225 @@
+"""Unit tests for the speculative frontend and SMT fetch models."""
+
+import numpy as np
+import pytest
+
+from repro.core.counters import ResettingCounterConfidence
+from repro.core.indexing import PCIndex
+from repro.core.threshold import ThresholdConfidence
+from repro.pipeline import (
+    DualPathPolicy,
+    FrontendConfig,
+    SMTConfig,
+    SpeculativeFrontend,
+    simulate_smt,
+)
+from repro.predictors import StaticPredictor
+from repro.traces import Trace
+
+
+def make_trace(pcs, outcomes, name="t"):
+    return Trace(np.asarray(pcs, dtype=np.uint64), np.asarray(outcomes), name)
+
+
+def always_low_confidence(maximum=16):
+    """A threshold flagging every bucket low (forces forking/gating)."""
+    estimator = ResettingCounterConfidence(PCIndex(8), maximum=maximum)
+    return ThresholdConfidence(estimator, range(maximum + 1))
+
+
+def never_low_confidence(maximum=16):
+    estimator = ResettingCounterConfidence(PCIndex(8), maximum=maximum)
+    return ThresholdConfidence(estimator, [])
+
+
+class TestFrontendConfig:
+    def test_block_size_deterministic(self):
+        config = FrontendConfig(min_block=2, block_spread=6)
+        assert config.block_size(0x100) == config.block_size(0x100)
+        assert config.block_size(0x100) >= 3  # min_block + branch itself
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrontendConfig(fetch_width=0)
+        with pytest.raises(ValueError):
+            FrontendConfig(redirect_penalty=-1)
+        with pytest.raises(ValueError):
+            FrontendConfig(fork_primary_loss=1.0)
+        with pytest.raises(ValueError):
+            FrontendConfig(alternate_width=-1.0)
+
+
+class TestBaselineFrontend:
+    def test_perfect_prediction_ipc_equals_width(self):
+        config = FrontendConfig(fetch_width=4)
+        trace = make_trace([0x100] * 50, [1] * 50)
+        report = SpeculativeFrontend(
+            StaticPredictor("always_taken"), config
+        ).run(trace)
+        assert report.mispredictions == 0
+        assert report.squashed_slots == 0
+        assert report.ipc == pytest.approx(4.0)
+
+    def test_misprediction_costs_resolution_plus_redirect(self):
+        config = FrontendConfig(
+            fetch_width=4, resolve_latency=8, redirect_penalty=1
+        )
+        # Two identical branches, the second mispredicted.
+        trace = make_trace([0x100, 0x100], [1, 0])
+        report = SpeculativeFrontend(
+            StaticPredictor("always_taken"), config
+        ).run(trace)
+        block = config.block_size(0x100)
+        expected = 2 * block / 4 + 8 + 1
+        assert report.cycles == pytest.approx(expected)
+        assert report.mispredictions == 1
+        assert report.squashed_slots == pytest.approx(4 * 8)
+
+    def test_all_instructions_retire(self):
+        config = FrontendConfig()
+        trace = make_trace([0x100, 0x104, 0x108], [1, 0, 1])
+        report = SpeculativeFrontend(
+            StaticPredictor("always_taken"), config
+        ).run(trace)
+        expected = sum(config.block_size(pc) for pc in [0x100, 0x104, 0x108])
+        assert report.retired_instructions == expected
+        assert report.branches == 3
+
+
+class TestDualPath:
+    def make(self, confidence):
+        return SpeculativeFrontend(
+            StaticPredictor("always_taken"),
+            FrontendConfig(),
+            dual_path=DualPathPolicy(confidence),
+        )
+
+    def test_never_forking_matches_baseline(self):
+        trace = make_trace([0x100] * 30, [1, 0] * 15)
+        baseline = SpeculativeFrontend(
+            StaticPredictor("always_taken"), FrontendConfig()
+        ).run(trace)
+        gated = self.make(never_low_confidence()).run(trace)
+        assert gated.cycles == pytest.approx(baseline.cycles)
+        assert gated.forks == 0
+
+    def test_fork_covers_misprediction_without_redirect(self):
+        config = FrontendConfig(
+            fetch_width=4, resolve_latency=8, redirect_penalty=1,
+            alternate_width=2.0,
+        )
+        trace = make_trace([0x100], [0])  # single mispredicted branch
+        frontend = SpeculativeFrontend(
+            StaticPredictor("always_taken"), config,
+            dual_path=DualPathPolicy(always_low_confidence()),
+        )
+        report = frontend.run(trace)
+        assert report.forks == 1
+        assert report.covered_mispredictions == 1
+        block = config.block_size(0x100)
+        head_start = min(2.0 * 8 / 4, 8)
+        expected = block / 4 + 8 - head_start
+        assert report.cycles == pytest.approx(expected)
+
+    def test_forking_everything_beats_baseline_on_coin_branch(self):
+        # A 50% branch at a single site: forking eliminates most of the
+        # misprediction cost at modest alternate-path expense.
+        rng = np.random.default_rng(7)
+        outcomes = rng.integers(0, 2, size=400)
+        trace = make_trace([0x100] * 400, outcomes)
+        baseline = SpeculativeFrontend(
+            StaticPredictor("always_taken"), FrontendConfig()
+        ).run(trace)
+        forked = self.make(always_low_confidence()).run(trace)
+        # Only one fork may be outstanding, and a correctly-predicted fork
+        # occupies the window — so coverage cannot approach 1 even when
+        # every branch is flagged; about half is what the capacity allows.
+        assert forked.misprediction_coverage > 0.35
+        assert forked.ipc > baseline.ipc
+
+    def test_fork_limit_one_outstanding(self):
+        # With an outstanding fork, further low-confidence branches do not
+        # fork until it resolves.
+        config = FrontendConfig(resolve_latency=50)
+        trace = make_trace([0x100, 0x104, 0x108], [1, 1, 1])
+        frontend = SpeculativeFrontend(
+            StaticPredictor("always_taken"), config,
+            dual_path=DualPathPolicy(always_low_confidence()),
+        )
+        report = frontend.run(trace)
+        assert report.forks == 1
+
+
+class TestSMT:
+    def make_threads(self, num_threads, length=60, mispredict_every=None):
+        traces = []
+        for index in range(num_threads):
+            outcomes = [1] * length
+            if mispredict_every:
+                outcomes = [
+                    0 if i % mispredict_every == 0 else 1 for i in range(length)
+                ]
+            traces.append(
+                make_trace([0x100 + 4 * index] * length, outcomes, f"t{index}")
+            )
+        predictors = [StaticPredictor("always_taken") for _ in traces]
+        return traces, predictors
+
+    def test_single_perfect_thread(self):
+        traces, predictors = self.make_threads(1)
+        report = simulate_smt(traces, predictors)
+        assert report.squashed_slots == 0
+        assert report.useful_instructions == sum(
+            FrontendConfig().block_size(0x100) for _ in range(60)
+        )
+
+    def test_two_threads_share_port(self):
+        traces, predictors = self.make_threads(2)
+        single = simulate_smt(traces[:1], predictors[:1])
+        double = simulate_smt(traces, predictors)
+        # Twice the work on the same port takes about twice the time.
+        assert double.total_cycles == pytest.approx(
+            2 * single.total_cycles, rel=0.1
+        )
+
+    def test_mispredictions_squash(self):
+        traces, predictors = self.make_threads(1, mispredict_every=5)
+        report = simulate_smt(traces, predictors)
+        assert report.squashed_slots > 0
+        assert report.waste_fraction > 0
+
+    def test_gating_reduces_waste(self):
+        def run(gated):
+            traces, predictors = self.make_threads(4, mispredict_every=4)
+            confidences = [always_low_confidence() for _ in traces]
+            return simulate_smt(
+                traces, predictors, confidences,
+                config=SMTConfig(gate_on_low_confidence=gated),
+            )
+        ungated = run(False)
+        gated = run(True)
+        assert gated.waste_fraction < ungated.waste_fraction
+        assert gated.gated_stalls > 0
+        assert ungated.gated_stalls == 0
+
+    def test_validation(self):
+        traces, predictors = self.make_threads(2)
+        with pytest.raises(ValueError, match="one predictor"):
+            simulate_smt(traces, predictors[:1])
+        with pytest.raises(ValueError, match="gating requires"):
+            simulate_smt(
+                traces, predictors,
+                config=SMTConfig(gate_on_low_confidence=True),
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_smt([], [])
+
+    def test_useful_instructions_independent_of_policy(self):
+        def run(gated):
+            traces, predictors = self.make_threads(3, mispredict_every=6)
+            confidences = [always_low_confidence() for _ in traces]
+            return simulate_smt(
+                traces, predictors, confidences,
+                config=SMTConfig(gate_on_low_confidence=gated),
+            )
+        assert run(False).useful_instructions == run(True).useful_instructions

@@ -1,0 +1,142 @@
+"""Unit tests for static, bimodal, gshare, and gselect predictors."""
+
+import numpy as np
+import pytest
+
+from repro.predictors import (
+    BimodalPredictor,
+    GselectPredictor,
+    GsharePredictor,
+    StaticPredictor,
+)
+from repro.predictors.configs import (
+    PAPER_LARGE_GSHARE,
+    PAPER_SMALL_GSHARE,
+    make_paper_predictor,
+)
+from repro.traces import Trace
+
+
+class TestStaticPredictor:
+    def test_always_taken(self):
+        predictor = StaticPredictor("always_taken")
+        assert predictor.predict(0x400, 0) == 1
+
+    def test_always_not_taken(self):
+        predictor = StaticPredictor("always_not_taken")
+        assert predictor.predict(0x400, 0) == 0
+
+    def test_btfnt(self):
+        predictor = StaticPredictor("btfnt", backward_pcs=[0x400])
+        assert predictor.predict(0x400, 0) == 1
+        assert predictor.predict(0x404, 0) == 0
+
+    def test_profile(self):
+        trace = Trace([4, 4, 4, 8, 8], [1, 1, 0, 0, 0])
+        predictor = StaticPredictor.from_profile(trace)
+        assert predictor.predict(4, 0) == 1
+        assert predictor.predict(8, 0) == 0
+        assert predictor.predict(999, 0) == 1  # unseen defaults to taken
+
+    def test_profile_requires_directions(self):
+        with pytest.raises(ValueError):
+            StaticPredictor("profile")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            StaticPredictor("magic")
+
+    def test_update_is_noop(self):
+        predictor = StaticPredictor("always_taken")
+        predictor.update(4, 0, 0)
+        assert predictor.predict(4, 0) == 1
+
+    def test_storage_free(self):
+        assert StaticPredictor("always_taken").storage_bits == 0
+
+
+class TestBimodalPredictor:
+    def test_learns_per_pc(self):
+        predictor = BimodalPredictor(entries=64)
+        for _ in range(3):
+            predictor.update(0x40, 0, 0)
+            predictor.update(0x44, 0, 1)
+        assert predictor.predict(0x40, 0) == 0
+        assert predictor.predict(0x44, 0) == 1
+
+    def test_ignores_history(self):
+        predictor = BimodalPredictor(entries=64)
+        assert predictor.predict(0x40, 0) == predictor.predict(0x40, 0xFFFF)
+
+    def test_aliasing_wraps_index(self):
+        predictor = BimodalPredictor(entries=4)
+        # PCs 0x0 and 0x40 alias in a 4-entry table (index = (pc>>2)&3).
+        for _ in range(3):
+            predictor.update(0x0, 0, 0)
+        assert predictor.predict(0x40 & 0xF, 0) == predictor.predict(0x0, 0)
+
+    def test_reset(self):
+        predictor = BimodalPredictor(entries=16)
+        for _ in range(3):
+            predictor.update(0x4, 0, 0)
+        predictor.reset()
+        assert predictor.predict(0x4, 0) == 1  # back to weakly taken
+
+
+class TestGsharePredictor:
+    def test_paper_index_function(self):
+        predictor = GsharePredictor(entries=1 << 16, history_bits=16)
+        pc, bhr = 0x3F5A8, 0xA5A5
+        assert predictor.index(pc, bhr) == ((pc >> 2) ^ bhr) & 0xFFFF
+
+    def test_history_disambiguates(self):
+        predictor = GsharePredictor(entries=256, history_bits=8)
+        # Same PC, two histories: train opposite directions.
+        for _ in range(3):
+            predictor.update(0x10, 0b1010, 1)
+            predictor.update(0x10, 0b0101, 0)
+        assert predictor.predict(0x10, 0b1010) == 1
+        assert predictor.predict(0x10, 0b0101) == 0
+
+    def test_history_bits_cannot_exceed_index_bits(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(entries=256, history_bits=9)
+
+    def test_default_history_equals_index_bits(self):
+        predictor = GsharePredictor(entries=1 << 12)
+        assert predictor.history_bits == 12
+
+    def test_storage_bits(self):
+        assert GsharePredictor(entries=1 << 16).storage_bits == 2 * (1 << 16)
+
+
+class TestGselectPredictor:
+    def test_concatenated_index(self):
+        predictor = GselectPredictor(entries=256, history_bits=4)
+        pc, bhr = 0x40, 0b1111
+        expected = (((pc >> 2) & 0xF) << 4) | 0xF
+        assert predictor.index(pc, bhr) == expected
+
+    def test_learns(self):
+        predictor = GselectPredictor(entries=256, history_bits=4)
+        for _ in range(3):
+            predictor.update(0x40, 0b0001, 0)
+        assert predictor.predict(0x40, 0b0001) == 0
+        assert predictor.predict(0x40, 0b0010) == 1  # other context untouched
+
+
+class TestPaperConfigs:
+    def test_large(self):
+        assert PAPER_LARGE_GSHARE.entries == 1 << 16
+        assert PAPER_LARGE_GSHARE.history_bits == 16
+        assert PAPER_LARGE_GSHARE.index_bits == 16
+
+    def test_small(self):
+        assert PAPER_SMALL_GSHARE.entries == 1 << 12
+        assert PAPER_SMALL_GSHARE.history_bits == 12
+
+    def test_make_paper_predictor(self):
+        large = make_paper_predictor()
+        small = make_paper_predictor(small=True)
+        assert large.entries == 1 << 16
+        assert small.entries == 1 << 12

@@ -1,0 +1,97 @@
+"""Unit tests for saturating counters and counter tables."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.predictors.counters import (
+    STRONGLY_NOT_TAKEN,
+    STRONGLY_TAKEN,
+    WEAKLY_NOT_TAKEN,
+    WEAKLY_TAKEN,
+    SaturatingCounter,
+    TwoBitCounterTable,
+)
+
+
+class TestSaturatingCounter:
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(maximum=3, initial=2)
+        counter.increment()
+        counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated
+
+    def test_decrement_saturates_at_zero(self):
+        counter = SaturatingCounter(maximum=3, initial=1)
+        counter.decrement()
+        counter.decrement()
+        assert counter.value == 0
+
+    def test_reset(self):
+        counter = SaturatingCounter(maximum=16)
+        counter.reset(5)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.reset(17)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(maximum=3, initial=4)
+
+    @given(st.lists(st.booleans(), max_size=100))
+    def test_always_in_range(self, moves):
+        counter = SaturatingCounter(maximum=16, initial=8)
+        for up in moves:
+            counter.increment() if up else counter.decrement()
+            assert 0 <= counter.value <= 16
+
+
+class TestTwoBitCounterTable:
+    def test_default_init_weakly_taken(self):
+        table = TwoBitCounterTable(8)
+        assert all(table.counter(i) == WEAKLY_TAKEN for i in range(8))
+        assert table.predict(0) == 1
+
+    def test_training_to_strongly_taken(self):
+        table = TwoBitCounterTable(4)
+        table.train(0, 1)
+        table.train(0, 1)
+        assert table.counter(0) == STRONGLY_TAKEN
+        table.train(0, 1)
+        assert table.counter(0) == STRONGLY_TAKEN  # saturates
+
+    def test_training_to_not_taken(self):
+        table = TwoBitCounterTable(4)
+        for _ in range(3):
+            table.train(0, 0)
+        assert table.counter(0) == STRONGLY_NOT_TAKEN
+        assert table.predict(0) == 0
+
+    def test_hysteresis(self):
+        # From strongly taken, one not-taken leaves the prediction taken.
+        table = TwoBitCounterTable(4, initial=STRONGLY_TAKEN)
+        table.train(0, 0)
+        assert table.counter(0) == WEAKLY_TAKEN
+        assert table.predict(0) == 1
+
+    def test_reset(self):
+        table = TwoBitCounterTable(4, initial=WEAKLY_NOT_TAKEN)
+        table.train(0, 1)
+        table.reset()
+        assert table.counter(0) == WEAKLY_NOT_TAKEN
+
+    def test_storage_bits(self):
+        assert TwoBitCounterTable(4096).storage_bits == 8192
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitCounterTable(3)
+
+    def test_snapshot_is_copy(self):
+        table = TwoBitCounterTable(4)
+        snap = table.snapshot()
+        table.train(0, 1)
+        assert snap[0] == WEAKLY_TAKEN

@@ -1,0 +1,104 @@
+"""Unit tests for the local (PAg) and hybrid predictors."""
+
+import pytest
+
+from repro.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    HybridPredictor,
+    LocalPredictor,
+    StaticPredictor,
+)
+
+
+class TestLocalPredictor:
+    def test_learns_periodic_pattern(self):
+        predictor = LocalPredictor(history_entries=64, history_bits=6)
+        pattern = [1, 1, 0]  # period-3 local pattern
+        # Train over many periods.
+        for repetition in range(60):
+            outcome = pattern[repetition % 3]
+            predictor.update(0x40, 0, outcome)
+        # After training, the predictor should follow the pattern.
+        hits = 0
+        for repetition in range(60, 90):
+            outcome = pattern[repetition % 3]
+            hits += predictor.predict(0x40, 0) == outcome
+            predictor.update(0x40, 0, outcome)
+        assert hits >= 28  # near-perfect once warm
+
+    def test_reset(self):
+        predictor = LocalPredictor(history_entries=16, history_bits=4)
+        for _ in range(5):
+            predictor.update(0x4, 0, 0)
+        predictor.reset()
+        assert predictor.predict(0x4, 0) == 1
+
+    def test_storage_bits(self):
+        predictor = LocalPredictor(history_entries=1024, history_bits=10)
+        assert predictor.storage_bits == 1024 * 10 + 2 * (1 << 10)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            LocalPredictor(history_entries=100)  # not a power of two
+
+
+class TestHybridPredictor:
+    def make(self):
+        return HybridPredictor(
+            GsharePredictor(entries=256, history_bits=8),
+            BimodalPredictor(entries=256),
+            chooser_entries=256,
+        )
+
+    def test_chooser_starts_neutral_selecting_first(self):
+        hybrid = self.make()
+        assert hybrid.selected_component(0x40) == 0
+
+    def test_chooser_moves_toward_better_component(self):
+        # First component: always-taken static; second: always-not-taken.
+        hybrid = HybridPredictor(
+            StaticPredictor("always_taken"),
+            StaticPredictor("always_not_taken"),
+            chooser_entries=16,
+        )
+        for _ in range(4):
+            hybrid.update(0x40, 0, 0)  # outcome favours the second component
+        assert hybrid.selected_component(0x40) == 1
+        assert hybrid.predict(0x40, 0) == 0
+
+    def test_chooser_untouched_when_components_agree(self):
+        hybrid = HybridPredictor(
+            StaticPredictor("always_taken"),
+            StaticPredictor("always_taken"),
+            chooser_entries=16,
+        )
+        for _ in range(4):
+            hybrid.update(0x40, 0, 0)  # both wrong -> no chooser training
+        assert hybrid.selected_component(0x40) == 0
+
+    def test_components_both_trained(self):
+        hybrid = self.make()
+        for _ in range(3):
+            hybrid.update(0x40, 0b1, 0)
+        first, second = hybrid.components()
+        assert first.predict(0x40, 0b1) == 0
+        assert second.predict(0x40, 0b1) == 0
+
+    def test_reset(self):
+        hybrid = HybridPredictor(
+            StaticPredictor("always_taken"),
+            StaticPredictor("always_not_taken"),
+            chooser_entries=16,
+        )
+        for _ in range(4):
+            hybrid.update(0x40, 0, 0)
+        hybrid.reset()
+        assert hybrid.selected_component(0x40) == 0
+
+    def test_storage_is_sum(self):
+        hybrid = self.make()
+        first, second = hybrid.components()
+        assert hybrid.storage_bits == (
+            first.storage_bits + second.storage_bits + 2 * 256
+        )

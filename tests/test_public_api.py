@@ -1,0 +1,61 @@
+"""Public-API surface tests: exports, the README snippet, convenience helpers."""
+
+import numpy as np
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestQuickConfidenceCurve:
+    def test_returns_curve_with_sane_values(self):
+        curve = repro.quick_confidence_curve("jpeg_play", length=8_000)
+        assert 0.0 <= curve.mispredictions_captured_at(20.0) <= 100.0
+        assert curve.points[-1].misprediction_percent == 100.0
+        assert "jpeg_play" in curve.name
+
+    def test_deterministic(self):
+        a = repro.quick_confidence_curve("gcc", length=6_000, seed=3)
+        b = repro.quick_confidence_curve("gcc", length=6_000, seed=3)
+        assert [p.bucket for p in a.points] == [p.bucket for p in b.points]
+
+
+class TestReadmeSnippet:
+    def test_readme_quickstart_flow(self):
+        """The README's quickstart code, executed verbatim in miniature."""
+        from repro import (
+            ConfidenceCurve,
+            GsharePredictor,
+            ResettingCounterConfidence,
+            load_benchmark,
+            simulate,
+        )
+        from repro.analysis import BucketStatistics
+
+        trace = load_benchmark("gcc", length=8_000)
+        predictor = GsharePredictor(entries=1 << 16, history_bits=16)
+        confidence = ResettingCounterConfidence.paper_variant(index_bits=16)
+        result = simulate(trace, predictor, [confidence])
+
+        stats = BucketStatistics.from_run(result.estimator_runs[confidence.name])
+        curve = ConfidenceCurve.from_statistics(
+            stats, order=confidence.bucket_order
+        )
+        captured = curve.mispredictions_captured_at(20.0)
+        assert 0.0 < captured <= 100.0
+
+    def test_trace_io_flow(self, tmp_path):
+        from repro import load_benchmark, load_trace, save_trace
+
+        trace = load_benchmark("nroff", length=3_000)
+        path = tmp_path / "nroff.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.pcs, trace.pcs)

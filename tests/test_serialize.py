@@ -1,0 +1,72 @@
+"""Unit tests for experiment-result JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import BucketStatistics, ConfidenceCurve, build_table1
+from repro.core.base import ConfidenceSignal
+from repro.experiments import get_experiment
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.serialize import result_to_jsonable, write_result_json
+
+
+def make_curve():
+    stats = BucketStatistics(np.asarray([5.0, 5.0]), np.asarray([3.0, 0.0]))
+    return ConfidenceCurve.from_statistics(stats, name="c")
+
+
+class TestLowering:
+    def test_curve(self):
+        data = result_to_jsonable(make_curve())
+        assert data["name"] == "c"
+        assert len(data["points"]) == 2
+        assert data["points"][0]["bucket"] == 0
+
+    def test_table(self):
+        stats = BucketStatistics(np.asarray([5.0, 5.0]), np.asarray([3.0, 0.0]))
+        data = result_to_jsonable(build_table1(stats))
+        assert len(data["rows"]) == 2
+        assert data["rows"][0]["count"] == 0
+
+    def test_numpy_scalars_and_arrays(self):
+        assert result_to_jsonable(np.int64(3)) == 3
+        assert result_to_jsonable(np.float64(0.5)) == 0.5
+        assert result_to_jsonable(np.asarray([1, 2])) == [1, 2]
+
+    def test_enums_and_containers(self):
+        assert result_to_jsonable(ConfidenceSignal.LOW) == 0
+        assert result_to_jsonable({"a": (1, 2)}) == {"a": [1, 2]}
+
+    def test_unserializable_type(self):
+        with pytest.raises(TypeError):
+            result_to_jsonable(object())
+
+
+class TestEndToEnd:
+    CONFIG = ExperimentConfig(benchmarks=("jpeg_play",), trace_length=5_000)
+
+    @pytest.mark.parametrize("experiment_id", ["fig2", "fig5", "table1"])
+    def test_results_round_trip_through_json(self, experiment_id, tmp_path):
+        result = get_experiment(experiment_id).run(self.CONFIG)
+        path = tmp_path / f"{experiment_id}.json"
+        write_result_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert isinstance(loaded, dict)
+        assert loaded  # non-empty
+
+    def test_cli_json_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig5.json"
+        code = main([
+            "run", "fig5",
+            "--length", "5000",
+            "--benchmarks", "jpeg_play",
+            "--json", str(out),
+        ])
+        assert code == 0
+        loaded = json.loads(out.read_text())
+        assert "curves" in loaded
+        assert "BHRxorPC" in loaded["curves"]

@@ -1,0 +1,40 @@
+"""Tests for the predictor-stream cache."""
+
+import numpy as np
+
+from repro.sim import cached_predictor_streams, clear_stream_cache, predictor_streams
+from repro.workloads import load_benchmark
+
+
+class TestCache:
+    def test_identity_on_repeat(self):
+        clear_stream_cache()
+        a = cached_predictor_streams("jpeg_play", length=2000, seed=0)
+        b = cached_predictor_streams("jpeg_play", length=2000, seed=0)
+        assert a is b
+
+    def test_distinct_for_distinct_keys(self):
+        clear_stream_cache()
+        a = cached_predictor_streams("jpeg_play", length=2000, seed=0)
+        b = cached_predictor_streams("jpeg_play", length=2000, seed=1)
+        c = cached_predictor_streams("jpeg_play", length=2000, seed=0, entries=1 << 12)
+        assert a is not b
+        assert a is not c
+
+    def test_matches_uncached_computation(self):
+        clear_stream_cache()
+        cached = cached_predictor_streams(
+            "gcc", length=2000, seed=0, entries=1 << 12, history_bits=12
+        )
+        direct = predictor_streams(
+            load_benchmark("gcc", 2000, 0), entries=1 << 12, history_bits=12
+        )
+        assert np.array_equal(cached.correct, direct.correct)
+        assert np.array_equal(cached.bhrs, direct.bhrs)
+
+    def test_clear(self):
+        a = cached_predictor_streams("jpeg_play", length=2000, seed=0)
+        clear_stream_cache()
+        b = cached_predictor_streams("jpeg_play", length=2000, seed=0)
+        assert a is not b
+        assert np.array_equal(a.correct, b.correct)

@@ -1,0 +1,114 @@
+"""Unit tests for the reference simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import OneLevelConfidence, ResettingCounterConfidence
+from repro.core.indexing import PCIndex, make_index
+from repro.core.init_policies import init_zeros
+from repro.predictors import GsharePredictor, StaticPredictor
+from repro.sim import simulate
+from repro.traces import Trace
+
+
+class TestBasicSimulation:
+    def test_perfect_static_predictor(self):
+        trace = Trace([4, 8, 12], [1, 1, 1])
+        result = simulate(trace, StaticPredictor("always_taken"))
+        assert result.num_branches == 3
+        assert result.num_mispredicts == 0
+        assert result.misprediction_rate == 0.0
+
+    def test_all_wrong(self):
+        trace = Trace([4, 8], [0, 0])
+        result = simulate(trace, StaticPredictor("always_taken"))
+        assert result.num_mispredicts == 2
+        assert result.misprediction_rate == 1.0
+
+    def test_correct_stream_recorded(self):
+        trace = Trace([4, 8, 12], [1, 0, 1])
+        result = simulate(trace, StaticPredictor("always_taken"))
+        assert result.correct_stream.tolist() == [1, 0, 1]
+
+    def test_bhr_stream_records_pre_branch_history(self):
+        trace = Trace([4, 8, 12], [1, 0, 1])
+        result = simulate(
+            trace, StaticPredictor("always_taken"), record_streams=True
+        )
+        assert result.bhr_stream.tolist() == [0b0, 0b1, 0b10]
+
+    def test_gcir_stream_records_incorrect_bits(self):
+        trace = Trace([4, 8, 12], [0, 1, 1])  # first prediction wrong
+        result = simulate(
+            trace, StaticPredictor("always_taken"), record_streams=True
+        )
+        assert result.gcir_stream.tolist() == [0b0, 0b1, 0b10]
+
+    def test_empty_trace(self):
+        result = simulate(Trace([], []), StaticPredictor("always_taken"))
+        assert result.num_branches == 0
+        assert result.misprediction_rate == 0.0
+
+
+class TestGshareTraining:
+    def test_learns_biased_branch(self):
+        # One site, always not-taken, constant history context.
+        trace = Trace([4] * 50, [0] * 50)
+        predictor = GsharePredictor(entries=64, history_bits=6)
+        result = simulate(trace, predictor)
+        # Weakly-taken start: two initial misses at each fresh context, then
+        # correct once counters train.
+        assert result.num_mispredicts < 15
+        assert result.correct_stream[-10:].all()
+
+
+class TestEstimatorIntegration:
+    def test_bucket_statistics_collected(self):
+        trace = Trace([4, 4, 4, 4], [0, 0, 0, 0])
+        estimator = ResettingCounterConfidence(PCIndex(4), maximum=4)
+        result = simulate(trace, StaticPredictor("always_not_taken"), [estimator])
+        run = result.estimator_runs[estimator.name]
+        # All predictions correct; counters read 0,1,2,3.
+        assert run.counts.tolist() == [1, 1, 1, 1, 0]
+        assert run.mispredicts.sum() == 0
+        assert run.bucket_order.tolist() == [0, 1, 2, 3, 4]
+
+    def test_estimator_sees_prediction_time_state(self):
+        # The bucket recorded for a branch is the pre-update CIR: branch 1
+        # reads the initial all-ones pattern; its correct prediction shifts
+        # in a 0, so branch 2 reads 0b1110.
+        trace = Trace([4, 4], [1, 1])
+        estimator = OneLevelConfidence(PCIndex(4), cir_bits=4)
+        result = simulate(trace, StaticPredictor("always_taken"), [estimator])
+        run = result.estimator_runs[estimator.name]
+        assert run.counts[0xF] == 1
+        assert run.counts[0xE] == 1
+
+    def test_multiple_estimators(self):
+        trace = Trace([4, 8] * 10, [1, 0] * 10)
+        estimators = [
+            ResettingCounterConfidence(PCIndex(4), maximum=4),
+            OneLevelConfidence(make_index("pc_xor_bhr", 6), cir_bits=4),
+        ]
+        result = simulate(trace, StaticPredictor("always_taken"), estimators)
+        assert len(result.estimator_runs) == 2
+        for run in result.estimator_runs.values():
+            assert run.total == 20
+
+    def test_duplicate_estimator_names_rejected(self):
+        trace = Trace([4], [1])
+        a = ResettingCounterConfidence(PCIndex(4), maximum=4)
+        b = ResettingCounterConfidence(PCIndex(4), maximum=4)
+        assert a.name == b.name
+        with pytest.raises(ValueError, match="unique"):
+            simulate(trace, StaticPredictor("always_taken"), [a, b])
+
+    def test_counts_sum_to_trace_length(self, small_benchmark_trace):
+        estimator = ResettingCounterConfidence(make_index("pc_xor_bhr", 10))
+        result = simulate(
+            small_benchmark_trace, GsharePredictor(entries=1024, history_bits=10),
+            [estimator],
+        )
+        run = result.estimator_runs[estimator.name]
+        assert run.total == len(small_benchmark_trace)
+        assert run.total_mispredicts == result.num_mispredicts

@@ -1,0 +1,73 @@
+"""Unit tests for TraceBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.traces import TraceBuilder
+
+
+class TestAppend:
+    def test_append_and_build(self):
+        builder = TraceBuilder("x")
+        builder.append(4, 1)
+        builder.append(8, 0)
+        trace = builder.build()
+        assert list(trace) == [(4, 1), (8, 0)]
+        assert trace.name == "x"
+
+    def test_invalid_outcome(self):
+        builder = TraceBuilder()
+        with pytest.raises(ValueError):
+            builder.append(4, 2)
+
+    def test_growth_beyond_initial_capacity(self):
+        builder = TraceBuilder()
+        for i in range(5000):
+            builder.append(4 * i, i % 2)
+        trace = builder.build()
+        assert len(trace) == 5000
+        assert trace.pcs[-1] == 4 * 4999
+
+
+class TestExtend:
+    def test_extend_block(self):
+        builder = TraceBuilder()
+        builder.extend([4, 8, 12], [1, 0, 1])
+        assert len(builder) == 3
+        assert list(builder.build()) == [(4, 1), (8, 0), (12, 1)]
+
+    def test_extend_mixed_with_append(self):
+        builder = TraceBuilder()
+        builder.append(4, 1)
+        builder.extend([8, 12], [0, 0])
+        builder.append(16, 1)
+        assert len(builder.build()) == 4
+
+    def test_extend_length_mismatch(self):
+        builder = TraceBuilder()
+        with pytest.raises(ValueError):
+            builder.extend([4, 8], [1])
+
+    def test_extend_invalid_outcomes(self):
+        builder = TraceBuilder()
+        with pytest.raises(ValueError):
+            builder.extend([4], [3])
+
+
+class TestBuild:
+    def test_build_copies_buffers(self):
+        builder = TraceBuilder()
+        builder.append(4, 1)
+        trace = builder.build()
+        builder.append(8, 0)
+        assert len(trace) == 1  # earlier build unaffected
+
+    def test_empty_build(self):
+        trace = TraceBuilder().build()
+        assert len(trace) == 0
+
+    def test_build_dtype(self):
+        builder = TraceBuilder()
+        builder.extend(np.asarray([4]), np.asarray([1]))
+        trace = builder.build()
+        assert trace.pcs.dtype == np.uint64

@@ -1,0 +1,47 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.traces import Trace, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path, small_benchmark_trace):
+        path = tmp_path / "trace.npz"
+        save_trace(small_benchmark_trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == small_benchmark_trace.name
+        assert np.array_equal(loaded.pcs, small_benchmark_trace.pcs)
+        assert np.array_equal(loaded.outcomes, small_benchmark_trace.outcomes)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_trace(Trace([], [], name="empty"), path)
+        loaded = load_trace(path)
+        assert len(loaded) == 0
+        assert loaded.name == "empty"
+
+
+class TestErrors:
+    def test_not_a_trace_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a trace archive"):
+            load_trace(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "future.npz"
+        np.savez(
+            path,
+            version=np.asarray(999),
+            name=np.asarray("x"),
+            pcs=np.zeros(1, dtype=np.uint64),
+            outcomes=np.zeros(1, dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "missing.npz")

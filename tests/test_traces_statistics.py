@@ -1,0 +1,60 @@
+"""Unit tests for trace statistics and static branch profiles."""
+
+import numpy as np
+import pytest
+
+from repro.traces import Trace, compute_statistics, static_branch_profile
+from repro.traces.statistics import StaticBranchProfile
+
+
+class TestComputeStatistics:
+    def test_empty(self):
+        stats = compute_statistics(Trace([], [], name="e"))
+        assert stats.dynamic_branches == 0
+        assert stats.static_branches == 0
+
+    def test_counts(self):
+        trace = Trace([4, 4, 8, 8, 8, 12], [1, 1, 0, 0, 1, 1])
+        stats = compute_statistics(trace)
+        assert stats.dynamic_branches == 6
+        assert stats.static_branches == 3
+        assert stats.taken_fraction == pytest.approx(4 / 6)
+        assert stats.mean_executions_per_site == pytest.approx(2.0)
+
+    def test_concentration(self):
+        # 10 sites; one executes 91 times, the rest once each.
+        pcs = [400] * 91 + [4 * i for i in range(1, 10)]
+        trace = Trace(pcs, [1] * 100)
+        stats = compute_statistics(trace)
+        assert stats.top_decile_concentration == pytest.approx(0.91)
+
+    def test_str_is_informative(self, small_benchmark_trace):
+        text = str(compute_statistics(small_benchmark_trace))
+        assert "jpeg_play" in text
+        assert "dynamic" in text
+
+
+class TestStaticBranchProfile:
+    def test_from_streams(self):
+        trace = Trace([4, 8, 4, 8], [1, 0, 1, 0])
+        correct = np.asarray([1, 0, 1, 1])
+        profile = static_branch_profile(trace, correct)
+        assert profile.counts[4] == (2, 0)
+        assert profile.counts[8] == (2, 1)
+        assert profile.total_executions == 4
+        assert profile.total_mispredictions == 1
+
+    def test_misprediction_rate(self):
+        profile = StaticBranchProfile({4: (10, 3), 8: (0, 0)})
+        assert profile.misprediction_rate(4) == pytest.approx(0.3)
+        assert profile.misprediction_rate(8) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        trace = Trace([4], [1])
+        with pytest.raises(ValueError, match="length"):
+            StaticBranchProfile.from_streams(trace, np.asarray([1, 0]))
+
+    def test_unknown_pc_raises(self):
+        profile = StaticBranchProfile({4: (1, 0)})
+        with pytest.raises(KeyError):
+            profile.misprediction_rate(8)

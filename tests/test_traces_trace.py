@@ -1,0 +1,96 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.traces import NOT_TAKEN, TAKEN, Trace
+
+
+def make_trace(pcs, outcomes, name="t"):
+    return Trace(np.asarray(pcs, dtype=np.uint64), np.asarray(outcomes), name)
+
+
+class TestConstruction:
+    def test_basic(self):
+        trace = make_trace([4, 8], [1, 0])
+        assert len(trace) == 2
+        assert trace.name == "t"
+
+    def test_dtype_normalization(self):
+        trace = Trace([4, 8], [1, 0])
+        assert trace.pcs.dtype == np.uint64
+        assert trace.outcomes.dtype == np.uint8
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            make_trace([4, 8], [1])
+
+    def test_bad_outcomes_rejected(self):
+        with pytest.raises(ValueError, match="outcomes"):
+            make_trace([4], [2])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(np.zeros((2, 2)), np.zeros((2, 2)))
+
+    def test_empty_trace_allowed(self):
+        trace = make_trace([], [])
+        assert len(trace) == 0
+        assert trace.taken_fraction == 0.0
+
+
+class TestAccessors:
+    def test_iteration_yields_python_ints(self):
+        trace = make_trace([4, 8], [TAKEN, NOT_TAKEN])
+        records = list(trace)
+        assert records == [(4, 1), (8, 0)]
+        assert all(isinstance(v, int) for pair in records for v in pair)
+
+    def test_num_static_branches(self):
+        trace = make_trace([4, 8, 4, 8, 12], [1] * 5)
+        assert trace.num_static_branches == 3
+
+    def test_taken_fraction(self):
+        trace = make_trace([4, 8, 12, 16], [1, 1, 0, 0])
+        assert trace.taken_fraction == 0.5
+
+    def test_repr_contains_name_and_length(self):
+        trace = make_trace([4], [1], name="gcc")
+        assert "gcc" in repr(trace)
+        assert "1" in repr(trace)
+
+
+class TestSlicing:
+    def test_slice(self):
+        trace = make_trace([4, 8, 12, 16], [1, 0, 1, 0])
+        sub = trace.slice(1, 3)
+        assert list(sub) == [(8, 0), (12, 1)]
+        assert sub.name == trace.name
+
+    def test_slice_invalid_bounds(self):
+        trace = make_trace([4], [1])
+        with pytest.raises(ValueError):
+            trace.slice(-1, 0)
+        with pytest.raises(ValueError):
+            trace.slice(2, 1)
+
+    def test_concat(self):
+        a = make_trace([4], [1], name="a")
+        b = make_trace([8], [0], name="b")
+        joined = a.concat(b)
+        assert list(joined) == [(4, 1), (8, 0)]
+        assert joined.name == "a"
+
+    def test_restricted_to(self):
+        trace = make_trace([4, 8, 4, 12], [1, 0, 0, 1])
+        sub = trace.restricted_to(np.asarray([4], dtype=np.uint64))
+        assert list(sub) == [(4, 1), (4, 0)]
+
+
+class TestImmutability:
+    def test_arrays_are_independent_of_inputs(self):
+        pcs = np.asarray([4, 8], dtype=np.uint64)
+        outcomes = np.asarray([1, 0], dtype=np.uint8)
+        trace = Trace(pcs.copy(), outcomes.copy())
+        pcs[0] = 99
+        assert trace.pcs[0] == 4

@@ -1,0 +1,125 @@
+"""Unit tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_mask,
+    extract_bits,
+    is_power_of_two,
+    log2_exact,
+    lowest_set_bit,
+    popcount,
+    reverse_bits,
+    xor_fold,
+)
+
+
+class TestBitMask:
+    def test_zero_width(self):
+        assert bit_mask(0) == 0
+
+    def test_small_widths(self):
+        assert bit_mask(1) == 1
+        assert bit_mask(4) == 0xF
+        assert bit_mask(16) == 0xFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+
+class TestExtractBits:
+    def test_paper_gshare_field(self):
+        # "bits 17 through 2 of the program counter"
+        pc = 0b11_0101_0101_0101_0101_01
+        assert extract_bits(pc, 2, 17) == (pc >> 2) & 0xFFFF
+
+    def test_single_bit(self):
+        assert extract_bits(0b100, 2, 2) == 1
+        assert extract_bits(0b011, 2, 2) == 0
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 3)
+        with pytest.raises(ValueError):
+            extract_bits(1, 4, 3)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(0xFFFF) == 16
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_matches_bin_count(self, value):
+        assert popcount(value) == bin(value).count("1")
+
+
+class TestLowestSetBit:
+    def test_zero(self):
+        assert lowest_set_bit(0) == -1
+
+    def test_powers_of_two(self):
+        for bit in range(20):
+            assert lowest_set_bit(1 << bit) == bit
+
+    def test_mixed(self):
+        assert lowest_set_bit(0b101000) == 3
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_bit_is_set_and_below_clear(self, value):
+        position = lowest_set_bit(value)
+        assert value & (1 << position)
+        assert value & bit_mask(position) == 0
+
+
+class TestReverseBits:
+    def test_simple(self):
+        assert reverse_bits(0b0001, 4) == 0b1000
+
+    def test_palindrome(self):
+        assert reverse_bits(0b1001, 4) == 0b1001
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_involution(self, value):
+        assert reverse_bits(reverse_bits(value, 16), 16) == value
+
+
+class TestXorFold:
+    def test_identity_when_narrow(self):
+        assert xor_fold(0b1010, 8) == 0b1010
+
+    def test_folds_chunks(self):
+        assert xor_fold(0b1010_0110, 4) == 0b1010 ^ 0b0110
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            xor_fold(3, 0)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(1, 16))
+    def test_result_fits_width(self, value, width):
+        assert 0 <= xor_fold(value, width) <= bit_mask(width)
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(65536) == 16
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)

@@ -1,0 +1,56 @@
+"""Unit tests for repro.utils.rng."""
+
+import pytest
+
+from repro.utils.rng import derive_seed, make_rng, split_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("gcc", 0) == derive_seed("gcc", 0)
+
+    def test_component_sensitivity(self):
+        assert derive_seed("gcc", 0) != derive_seed("gcc", 1)
+        assert derive_seed("gcc", 0) != derive_seed("gs", 0)
+
+    def test_order_sensitivity(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed("ab", "c") != derive_seed("a", "bc")
+
+    def test_rejects_unhashable_types(self):
+        with pytest.raises(TypeError):
+            derive_seed(1.5)  # floats are not allowed
+        with pytest.raises(TypeError):
+            derive_seed(True)  # bools are explicitly rejected
+
+    def test_64_bit_range(self):
+        assert 0 <= derive_seed("x") < 2**64
+
+
+class TestMakeRng:
+    def test_reproducible_streams(self):
+        a = make_rng("suite", 7).integers(0, 2**31, size=10)
+        b = make_rng("suite", 7).integers(0, 2**31, size=10)
+        assert (a == b).all()
+
+    def test_distinct_streams(self):
+        a = make_rng("suite", 7).integers(0, 2**31, size=10)
+        b = make_rng("suite", 8).integers(0, 2**31, size=10)
+        assert (a != b).any()
+
+
+class TestSplitRng:
+    def test_count(self):
+        rngs = list(split_rng("x", count=5))
+        assert len(rngs) == 5
+
+    def test_independence(self):
+        a, b = split_rng("x", count=2)
+        assert a.integers(0, 2**31) != b.integers(0, 2**31)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            list(split_rng("x", count=0))

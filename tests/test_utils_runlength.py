@@ -1,0 +1,43 @@
+"""Unit tests for repro.utils.runlength."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.runlength import run_lengths, runs
+
+
+class TestRuns:
+    def test_empty(self):
+        assert runs([]) == []
+
+    def test_single_run(self):
+        assert runs([1, 1, 1]) == [(1, 3)]
+
+    def test_alternating(self):
+        assert runs([1, 0, 1, 0]) == [(1, 1), (0, 1), (1, 1), (0, 1)]
+
+    def test_mixed(self):
+        assert runs([1, 1, 0, 1, 1, 1]) == [(1, 2), (0, 1), (1, 3)]
+
+    def test_accepts_numpy(self):
+        assert runs(np.asarray([0, 0, 1])) == [(0, 2), (1, 1)]
+
+    @given(st.lists(st.integers(0, 1), max_size=60))
+    def test_reconstruction(self, values):
+        rebuilt = [value for value, length in runs(values) for _ in range(length)]
+        assert rebuilt == values
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+    def test_adjacent_runs_differ(self, values):
+        sequence = runs(values)
+        assert all(a[0] != b[0] for a, b in zip(sequence, sequence[1:]))
+
+
+class TestRunLengths:
+    def test_filters_by_value(self):
+        assert run_lengths([1, 1, 0, 1, 1, 1], of_value=1) == [2, 3]
+        assert run_lengths([1, 1, 0, 1, 1, 1], of_value=0) == [1]
+
+    def test_missing_value(self):
+        assert run_lengths([1, 1], of_value=0) == []

@@ -1,0 +1,68 @@
+"""Unit tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3, "x") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, -100])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative(-1, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4096, 1 << 16])
+    def test_accepts_powers(self, value):
+        assert check_power_of_two(value, "x") == value
+
+    @pytest.mark.parametrize("value", [0, 3, 12, -8])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two(value, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match="within"):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(0, 0, 16, "c") == 0
+        assert check_in_range(16, 0, 16, "c") == 16
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range(17, 0, 16, "c")
+        with pytest.raises(ValueError):
+            check_in_range(-1, 0, 16, "c")
+
+    def test_error_message_names_variable(self):
+        with pytest.raises(ValueError, match="counter"):
+            check_in_range(99, 0, 16, "counter")

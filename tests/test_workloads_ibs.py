@@ -1,0 +1,98 @@
+"""Unit tests for the synthetic IBS-style suite."""
+
+import numpy as np
+import pytest
+
+from repro.traces.statistics import compute_statistics
+from repro.workloads import benchmark_names, load_benchmark, load_suite
+from repro.workloads.ibs import (
+    IBS_BENCHMARKS,
+    CategoryWeights,
+    benchmark_program,
+    build_program,
+)
+
+
+class TestSuiteComposition:
+    def test_eight_benchmarks(self):
+        names = benchmark_names()
+        assert len(names) == 8
+        assert "gcc" in names and "jpeg_play" in names
+
+    def test_load_suite_subset(self):
+        traces = load_suite(length=2000, names=["gcc", "gs"])
+        assert set(traces) == {"gcc", "gs"}
+        assert all(len(t) == 2000 for t in traces.values())
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            load_benchmark("spec95", 100)
+
+
+class TestDeterminism:
+    def test_same_args_same_trace(self):
+        a = load_benchmark("nroff", 3000, 1)
+        b = load_benchmark("nroff", 3000, 1)
+        assert np.array_equal(a.pcs, b.pcs)
+        assert np.array_equal(a.outcomes, b.outcomes)
+
+    def test_seed_changes_outcomes(self):
+        a = load_benchmark("nroff", 3000, 1)
+        b = load_benchmark("nroff", 3000, 2)
+        assert not np.array_equal(a.outcomes, b.outcomes)
+
+    def test_pcs_layout_stable_across_seeds(self):
+        a = load_benchmark("nroff", 3000, 1)
+        b = load_benchmark("nroff", 3000, 2)
+        assert set(np.unique(a.pcs)) == set(np.unique(b.pcs))
+
+
+class TestBenchmarkShape:
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_basic_statistics(self, name):
+        trace = load_benchmark(name, 8000, 0)
+        stats = compute_statistics(trace)
+        assert stats.dynamic_branches == 8000
+        # Plausible program shapes: tens to hundreds of sites, mostly taken
+        # (loop-dominated) but not degenerate.
+        assert 30 <= stats.static_branches <= 2000
+        assert 0.35 <= stats.taken_fraction <= 0.85
+
+    def test_gcc_has_most_static_branches(self):
+        sites = {
+            name: compute_statistics(load_benchmark(name, 8000, 0)).static_branches
+            for name in ["gcc", "jpeg_play", "video_play"]
+        }
+        assert sites["gcc"] > sites["jpeg_play"]
+        assert sites["gcc"] > sites["video_play"]
+
+    def test_pcs_fit_paper_index_field(self):
+        trace = load_benchmark("gcc", 4000, 0)
+        assert int(trace.pcs.max()) < 1 << 18  # PC bits 17..2
+        assert (trace.pcs % 4 == 0).all()
+
+
+class TestProgramConstruction:
+    def test_programs_memoized(self):
+        assert benchmark_program("gcc") is benchmark_program("gcc")
+
+    def test_build_program_distinct_sites(self):
+        program = build_program(IBS_BENCHMARKS["verilog"])
+        pcs = [site.pc for site in program.sites]
+        assert len(set(pcs)) == len(pcs)
+
+    def test_backward_sites_marked(self):
+        program = build_program(IBS_BENCHMARKS["jpeg_play"])
+        assert len(program.backward_pcs) > 0
+
+
+class TestCategoryWeights:
+    def test_normalization(self):
+        weights = CategoryWeights(easy=2.0, hard=2.0)
+        pairs = dict(weights.as_pairs())
+        assert pairs["easy"] == pytest.approx(0.5)
+        assert pairs["hard"] == pytest.approx(0.5)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CategoryWeights().as_pairs()

@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic program structure and interpreter."""
+
+import pytest
+
+from repro.workloads.behaviors import BiasedBehavior, PatternBehavior, TripSource
+from repro.workloads.program import (
+    Block,
+    Emit,
+    If,
+    Loop,
+    Site,
+    SyntheticProgram,
+)
+
+
+def site(name, pc, behavior=None, backward=False):
+    return Site(name=name, pc=pc, behavior=behavior, is_backward=backward)
+
+
+class TestSite:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError, match="aligned"):
+            Site("x", 0x3, BiasedBehavior(0.5))
+
+
+class TestEmitAndBlock:
+    def test_emit_generates_record(self):
+        program = SyntheticProgram(
+            "p", Block([Emit(site("a", 0x100, PatternBehavior([1, 0])))])
+        )
+        trace = program.generate(4)
+        assert list(trace) == [(0x100, 1), (0x100, 0), (0x100, 1), (0x100, 0)]
+
+    def test_block_sequences_children(self):
+        program = SyntheticProgram(
+            "p",
+            Block([
+                Emit(site("a", 0x100, PatternBehavior([1]))),
+                Emit(site("b", 0x104, PatternBehavior([0]))),
+            ]),
+        )
+        trace = program.generate(4)
+        assert list(trace) == [(0x100, 1), (0x104, 0), (0x100, 1), (0x104, 0)]
+
+
+class TestIf:
+    def test_taken_runs_then_body(self):
+        program = SyntheticProgram(
+            "p",
+            Block([
+                If(
+                    site("guard", 0x100, PatternBehavior([1, 0])),
+                    then_body=Emit(site("t", 0x104, PatternBehavior([1]))),
+                    else_body=Emit(site("e", 0x108, PatternBehavior([0]))),
+                )
+            ]),
+        )
+        trace = program.generate(4)
+        assert list(trace) == [(0x100, 1), (0x104, 1), (0x100, 0), (0x108, 0)]
+
+
+class TestLoop:
+    def test_back_edge_taken_then_exits(self):
+        loop = Loop(
+            site("loop", 0x100, None, backward=True),
+            body=Emit(site("body", 0x104, PatternBehavior([1]))),
+            trips=TripSource.fixed(2),
+        )
+        program = SyntheticProgram("p", loop)
+        trace = program.generate(5)
+        assert list(trace) == [
+            (0x100, 1), (0x104, 1), (0x100, 1), (0x104, 1), (0x100, 0),
+        ]
+
+    def test_backward_pcs_reported(self):
+        loop = Loop(
+            site("loop", 0x100, None, backward=True),
+            body=Emit(site("body", 0x104, PatternBehavior([1]))),
+            trips=TripSource.fixed(1),
+        )
+        program = SyntheticProgram("p", loop)
+        assert program.backward_pcs == [0x100]
+
+
+class TestSyntheticProgram:
+    def test_exact_length(self):
+        program = SyntheticProgram(
+            "p", Block([Emit(site("a", 0x100, BiasedBehavior(0.5)))])
+        )
+        assert len(program.generate(1234)) == 1234
+
+    def test_deterministic_given_seed(self):
+        def build():
+            return SyntheticProgram(
+                "p", Block([Emit(site("a", 0x100, BiasedBehavior(0.5)))])
+            )
+        a = build().generate(500, seed=7)
+        b = build().generate(500, seed=7)
+        assert list(a) == list(b)
+
+    def test_seed_changes_stream(self):
+        program = SyntheticProgram(
+            "p", Block([Emit(site("a", 0x100, BiasedBehavior(0.5)))])
+        )
+        a = program.generate(200, seed=1)
+        b = program.generate(200, seed=2)
+        assert list(a) != list(b)
+
+    def test_generate_resets_behaviour_state(self):
+        program = SyntheticProgram(
+            "p", Block([Emit(site("a", 0x100, PatternBehavior([1, 0, 0])))])
+        )
+        first = list(program.generate(4))
+        second = list(program.generate(4))
+        assert first == second  # pattern phase restarts
+
+    def test_duplicate_pcs_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SyntheticProgram(
+                "p",
+                Block([
+                    Emit(site("a", 0x100, BiasedBehavior(0.5))),
+                    Emit(site("b", 0x100, BiasedBehavior(0.5))),
+                ]),
+            )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SyntheticProgram(
+                "p",
+                Block([
+                    Emit(site("a", 0x100, BiasedBehavior(0.5))),
+                    Emit(site("a", 0x104, BiasedBehavior(0.5))),
+                ]),
+            ).generate(1)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError, match="no branch sites"):
+            SyntheticProgram("p", Block([]))
+
+    def test_site_without_behaviour_outside_loop_rejected(self):
+        program = SyntheticProgram("p", Block([Emit(site("a", 0x100, None))]))
+        with pytest.raises(ValueError, match="no behaviour"):
+            program.generate(1)
+
+    def test_invalid_length(self):
+        program = SyntheticProgram(
+            "p", Block([Emit(site("a", 0x100, BiasedBehavior(0.5)))])
+        )
+        with pytest.raises(ValueError):
+            program.generate(0)

@@ -1,0 +1,68 @@
+"""Unit tests for the SPEC-like alternative suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import _load_any_benchmark, clear_stream_cache
+from repro.traces.statistics import compute_statistics
+from repro.workloads.spec_like import (
+    SPEC_BENCHMARKS,
+    load_spec_benchmark,
+    load_spec_suite,
+    spec_benchmark_names,
+)
+
+
+class TestSuite:
+    def test_four_benchmarks(self):
+        assert spec_benchmark_names() == ["compress", "go", "li", "perl"]
+
+    def test_traces_generate(self):
+        traces = load_spec_suite(length=4_000)
+        assert set(traces) == set(SPEC_BENCHMARKS)
+        for trace in traces.values():
+            assert len(trace) == 4_000
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="SPEC-like"):
+            load_spec_benchmark("gcc95", 100)
+
+    def test_deterministic(self):
+        a = load_spec_benchmark("go", 3_000, 1)
+        b = load_spec_benchmark("go", 3_000, 1)
+        assert np.array_equal(a.outcomes, b.outcomes)
+
+    def test_spec_character_fewer_sites_than_ibs(self):
+        # SPEC-like programs are smaller than the IBS kernel-heavy ones.
+        from repro.workloads import load_benchmark
+
+        spec_sites = compute_statistics(
+            load_spec_benchmark("go", 8_000)
+        ).static_branches
+        ibs_sites = compute_statistics(
+            load_benchmark("gcc", 8_000)
+        ).static_branches
+        assert spec_sites < ibs_sites
+
+
+class TestUnifiedLoader:
+    def test_resolves_both_suites(self):
+        clear_stream_cache()
+        ibs = _load_any_benchmark("jpeg_play", 2_000, 0)
+        spec = _load_any_benchmark("perl", 2_000, 0)
+        assert ibs.name == "jpeg_play"
+        assert spec.name == "perl"
+
+    def test_unknown_everywhere(self):
+        with pytest.raises(ValueError):
+            _load_any_benchmark("not_a_benchmark", 100, 0)
+
+    def test_experiments_accept_spec_names(self):
+        from repro.experiments import get_experiment
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig(
+            benchmarks=("compress", "go"), trace_length=6_000
+        )
+        result = get_experiment("fig5").run(config)
+        assert set(result.curves) == {"PC", "BHR", "BHRxorPC"}
