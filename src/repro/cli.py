@@ -5,8 +5,12 @@ Usage examples::
     repro list                       # available experiments
     repro run fig5                   # run one experiment, print its report
     repro run fig5 --plot            # ... with an ASCII curve plot
+    repro run fig5 --jobs 4          # ... sweeping benchmarks in parallel
+    repro run fig5 --profile p.json  # ... exporting timers/cache counters
     repro run table1 --csv out.csv   # ... exporting the data series
+    repro run-all --jobs 4           # all experiments over a process pool
     repro suite                      # suite statistics (rates, sites)
+    repro cache stats                # persistent stream-cache footprint
     repro apps dual-path             # run an application model
     repro trace gcc --length 50000 --out gcc.npz   # dump a trace
 """
@@ -49,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--json", default=None, help="export the full result record to JSON"
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for sweep fan-out"
+    )
+    run_parser.add_argument(
+        "--profile", default=None, help="export timers/cache counters to JSON"
+    )
 
     run_all_parser = subparsers.add_parser(
         "run-all", help="run every registered experiment and print reports"
@@ -56,6 +66,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument("--length", type=int, default=None)
     run_all_parser.add_argument("--seed", type=int, default=None)
     run_all_parser.add_argument("--benchmarks", nargs="+", default=None)
+    run_all_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (experiments fan out; reports stay in order)",
+    )
+    run_all_parser.add_argument(
+        "--profile", default=None, help="export timers/cache counters to JSON"
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the persistent predictor-stream cache"
+    )
+    cache_parser.add_argument(
+        "action",
+        choices=["stats", "clear", "path"],
+        help="stats: footprint; clear: delete entries; path: print directory",
+    )
 
     suite_parser = subparsers.add_parser(
         "suite", help="show workload-suite statistics"
@@ -92,7 +118,30 @@ def _config_from_args(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if getattr(args, "benchmarks", None):
         overrides["benchmarks"] = tuple(args.benchmarks)
+    if getattr(args, "jobs", None) is not None:
+        if args.jobs < 1:
+            raise SystemExit("--jobs must be >= 1")
+        overrides["jobs"] = args.jobs
     return config.scaled(**overrides) if overrides else config
+
+
+def _maybe_write_profile(args: argparse.Namespace, config) -> None:
+    """Export the run's metrics when ``--profile`` was requested."""
+    profile_path = getattr(args, "profile", None)
+    from repro import observability
+
+    observability.log_summary()
+    if not profile_path:
+        return
+    import dataclasses
+
+    extra = {
+        "command": args.command,
+        "experiment": getattr(args, "experiment", None),
+        "config": dataclasses.asdict(config),
+    }
+    observability.write_profile(profile_path, extra=extra)
+    print(f"\nwrote {profile_path}")
 
 
 def _collect_curves(result) -> List:
@@ -124,7 +173,10 @@ def _command_run(args: argparse.Namespace) -> int:
         print(error, file=sys.stderr)
         return 2
     config = _config_from_args(args)
-    result = experiment.run(config)
+    from repro import observability
+
+    with observability.timed(f"experiment.{experiment.id}.seconds"):
+        result = experiment.run(config)
     print(result.format())
     curves = _collect_curves(result)
     if args.plot and curves:
@@ -147,15 +199,34 @@ def _command_run(args: argparse.Namespace) -> int:
 
         write_result_json(result, args.json)
         print(f"\nwrote {args.json}")
+    _maybe_write_profile(args, config)
     return 0
 
 
 def _command_run_all(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all_reports
+
     config = _config_from_args(args)
-    for experiment in list_experiments():
-        print(f"=== {experiment.id}: {experiment.description}")
-        print(experiment.run(config).format())
+    for report in run_all_reports(config):
+        print(f"=== {report.experiment_id}: {report.description}")
+        print(report.text)
         print()
+    _maybe_write_profile(args, config)
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.sim.diskcache import clear_disk_cache, disk_cache_stats, stream_cache_dir
+
+    if args.action == "path":
+        print(stream_cache_dir())
+    elif args.action == "stats":
+        print(disk_cache_stats().format())
+    elif args.action == "clear":
+        removed = clear_disk_cache()
+        print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled cache action {args.action!r}")
     return 0
 
 
@@ -218,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run_all(args)
     if args.command == "suite":
         return _command_suite(args)
+    if args.command == "cache":
+        return _command_cache(args)
     if args.command == "apps":
         return _command_apps(args)
     if args.command == "trace":

@@ -54,6 +54,16 @@ class IndexFunction(abc.ABC):
     def name(self) -> str:
         """Short name matching the paper's curve labels (e.g. ``BHRxorPC``)."""
 
+    @property
+    def uses_gcir(self) -> bool:
+        """True when the index reads the global CIR.
+
+        Engines consult this to decide whether the (derived) global-CIR
+        stream must actually be supplied; indexes that combine a GCIR
+        field override it.
+        """
+        return False
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} ({self._index_bits} bits)>"
 
@@ -102,6 +112,10 @@ class GlobalCIRIndex(IndexFunction):
     @property
     def name(self) -> str:
         return "GCIR"
+
+    @property
+    def uses_gcir(self) -> bool:
+        return True
 
 
 class XorIndex(IndexFunction):
@@ -155,6 +169,10 @@ class XorIndex(IndexFunction):
         if self._use_gcir:
             parts.append("GCIR")
         return "xor".join(parts)
+
+    @property
+    def uses_gcir(self) -> bool:
+        return self._use_gcir
 
 
 class ConcatIndex(IndexFunction):
@@ -213,6 +231,10 @@ class ConcatIndex(IndexFunction):
     @property
     def name(self) -> str:
         return "cat(" + ",".join(f"{s}:{b}" for s, b in self._fields) + ")"
+
+    @property
+    def uses_gcir(self) -> bool:
+        return any(source == "gcir" for source, _ in self._fields)
 
 
 def make_index(kind: str, index_bits: int) -> IndexFunction:

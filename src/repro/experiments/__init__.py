@@ -12,12 +12,22 @@ helpers in :mod:`repro.experiments.runner`.
 """
 
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentReport,
+    get_experiment,
+    list_experiments,
+    run_all_reports,
+    run_experiment_report,
+)
 
 __all__ = [
     "ExperimentConfig",
     "DEFAULT_CONFIG",
     "EXPERIMENTS",
+    "ExperimentReport",
     "get_experiment",
     "list_experiments",
+    "run_all_reports",
+    "run_experiment_report",
 ]

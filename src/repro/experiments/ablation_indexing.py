@@ -9,7 +9,9 @@ Section 3.1 makes two claims from "preliminary studies":
 
 This ablation evaluates, with ideal reduction on the standard setup:
 XOR (PC xor BHR), concatenation (half PC bits, half BHR bits), the
-global CIR alone, and PC xor BHR xor GCIR.
+global CIR alone, PC xor BHR xor GCIR, and a concatenation that spends
+half its bits on the global CIR (supporting claim 2 for concatenated
+sub-fields as well as XORed ones).
 """
 
 from __future__ import annotations
@@ -54,6 +56,14 @@ class IndexingAblationResult:
             <= self.at_headline["BHRxorPC"] + 1.0
         )
 
+    @property
+    def gcir_subfield_does_not_help(self) -> bool:
+        """Spending concatenation bits on GCIR instead of BHR should not pay."""
+        return (
+            self.at_headline["concat(PC,GCIR)"]
+            <= self.at_headline["concat(PC,BHR)"] + 1.0
+        )
+
     def format(self) -> str:
         lines = ["Ablation — index formation (ideal reduction)"]
         for label, value in self.at_headline.items():
@@ -63,6 +73,9 @@ class IndexingAblationResult:
         lines.append(f"XOR >= concatenation: {self.xor_beats_concat}")
         lines.append(f"GCIR alone is poor: {self.gcir_alone_is_poor}")
         lines.append(f"adding GCIR does not help: {self.gcir_does_not_help}")
+        lines.append(
+            f"GCIR concat sub-field does not help: {self.gcir_subfield_does_not_help}"
+        )
         return "\n".join(lines)
 
     __str__ = format
@@ -79,6 +92,9 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> IndexingAblationResult:
         ),
         "GCIR": GlobalCIRIndex(bits),
         "BHRxorPCxorGCIR": XorIndex(bits, use_pc=True, use_bhr=True, use_gcir=True),
+        "concat(PC,GCIR)": ConcatIndex(
+            bits, fields=[("gcir", half), ("pc", bits - half)]
+        ),
     }
     curves: Dict[str, ConfidenceCurve] = {}
     at_headline: Dict[str, float] = {}

@@ -36,6 +36,10 @@ class ExperimentConfig:
     cir_bits: int = 16
     #: Reference x position for headline numbers (the paper quotes 20 %).
     headline_percent: float = 20.0
+    #: Worker processes for sweep/experiment fan-out (1 = fully serial).
+    #: Results are merged deterministically, so reports are identical
+    #: regardless of the value; workers share the persistent stream cache.
+    jobs: int = 1
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

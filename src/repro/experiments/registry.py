@@ -1,12 +1,20 @@
 """Experiment registry: id -> (runner, description).
 
-Used by the CLI (``repro run fig5``) and the benchmark harness.
+Used by the CLI (``repro run fig5``) and the benchmark harness.  The
+registry is also the unit of parallelism for ``repro run-all --jobs N``:
+:func:`run_all_reports` fans whole experiments across a process pool and
+merges the formatted reports back in registration order, so the combined
+output is byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import observability
+from repro.experiments.config import ExperimentConfig
 
 from repro.experiments import (
     ablation_context_switch,
@@ -156,3 +164,76 @@ def get_experiment(experiment_id: str) -> Experiment:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known ids: {known}"
         ) from None
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """One experiment's formatted report plus its wall-time accounting."""
+
+    experiment_id: str
+    description: str
+    text: str
+    seconds: float
+
+
+def run_experiment_report(
+    experiment_id: str, config: ExperimentConfig
+) -> ExperimentReport:
+    """Run one experiment and capture its formatted report and wall time."""
+    experiment = get_experiment(experiment_id)
+    start = time.perf_counter()
+    with observability.timed(f"experiment.{experiment_id}.seconds"):
+        result = experiment.run(config)
+    return ExperimentReport(
+        experiment_id=experiment.id,
+        description=experiment.description,
+        text=result.format(),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _report_worker(payload: Tuple[str, ExperimentConfig]):
+    """Process-pool entry point: run one experiment, return report + metrics.
+
+    Only the formatted report crosses the process boundary (result
+    objects stay in the worker), which keeps the merge trivially
+    deterministic: parent-side output depends only on report text and
+    registration order.
+    """
+    experiment_id, config = payload
+    observability.reset_metrics()
+    report = run_experiment_report(experiment_id, config)
+    return report, observability.snapshot()
+
+
+def run_all_reports(
+    config: ExperimentConfig,
+    experiment_ids: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+) -> List[ExperimentReport]:
+    """Reports for several experiments, optionally over a process pool.
+
+    ``jobs`` defaults to ``config.jobs``.  Workers run with
+    ``config.jobs`` forced to 1 (the pool already provides the
+    parallelism) and populate the shared persistent stream cache; reports
+    come back in the requested order, byte-identical to a serial run.
+    """
+    ids = (
+        list(experiment_ids)
+        if experiment_ids is not None
+        else [experiment.id for experiment in list_experiments()]
+    )
+    jobs = config.jobs if jobs is None else jobs
+    if jobs <= 1 or len(ids) <= 1:
+        return [run_experiment_report(experiment_id, config) for experiment_id in ids]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    worker_config = config.scaled(jobs=1)
+    payloads = [(experiment_id, worker_config) for experiment_id in ids]
+    reports: List[ExperimentReport] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        for report, metrics in pool.map(_report_worker, payloads):
+            observability.merge_snapshot(metrics)
+            reports.append(report)
+    return reports

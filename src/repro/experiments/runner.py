@@ -8,14 +8,19 @@ combine them with the paper's equal-branch-count weighting.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import observability
 from repro.analysis.buckets import BucketStatistics
 from repro.core.indexing import IndexFunction, make_index
 from repro.experiments.config import ExperimentConfig
-from repro.sim.cache import cached_predictor_streams
+from repro.sim.cache import (
+    cached_predictor_streams,
+    peek_cached_streams,
+    seed_memory_tier,
+)
 from repro.sim.fast import (
     PredictorStreams,
     cir_pattern_stream,
@@ -29,19 +34,69 @@ from repro.utils.bits import bit_mask
 InitSpec = "int | np.ndarray"
 
 
-def suite_streams(config: ExperimentConfig) -> Dict[str, PredictorStreams]:
-    """Predictor streams for every benchmark in the config's suite."""
+def _stream_request(config: ExperimentConfig, benchmark: str) -> Dict:
+    """Keyword arguments of the cached sweep for one suite benchmark."""
     return {
-        name: cached_predictor_streams(
-            name,
-            length=config.trace_length,
-            seed=config.seed,
-            entries=config.predictor_entries,
-            history_bits=config.predictor_history_bits,
-            bhr_record_bits=max(config.predictor_history_bits, config.ct_index_bits),
-        )
-        for name in config.benchmarks
+        "benchmark": benchmark,
+        "length": config.trace_length,
+        "seed": config.seed,
+        "entries": config.predictor_entries,
+        "history_bits": config.predictor_history_bits,
+        "bhr_record_bits": max(config.predictor_history_bits, config.ct_index_bits),
+        "gcir_bits": config.ct_index_bits,
     }
+
+
+def _stream_worker(request: Dict):
+    """Process-pool entry point: run one sweep, report its metrics delta.
+
+    Workers share the persistent disk cache with the parent (and each
+    other), so whatever they compute is immediately reusable; the metrics
+    snapshot rides back so the parent can account fleet-wide totals.
+    """
+    observability.reset_metrics()
+    streams = cached_predictor_streams(**request)
+    return streams, observability.snapshot()
+
+
+def _parallel_streams(requests: List[Dict], jobs: int) -> List[PredictorStreams]:
+    """Fan sweep requests across a process pool, preserving request order."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    workers = min(jobs, len(requests))
+    results: List[PredictorStreams] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for streams, metrics in pool.map(_stream_worker, requests):
+            observability.merge_snapshot(metrics)
+            results.append(streams)
+    return results
+
+
+def suite_streams(config: ExperimentConfig) -> Dict[str, PredictorStreams]:
+    """Predictor streams for every benchmark in the config's suite.
+
+    With ``config.jobs > 1`` the (cache-missing) sweeps run in a process
+    pool; results are merged back in benchmark order, so the returned
+    mapping is identical to a serial run.
+    """
+    requests = [_stream_request(config, name) for name in config.benchmarks]
+    with observability.timed("suite_streams.seconds"):
+        if config.jobs > 1 and len(requests) > 1:
+            results = [peek_cached_streams(**request) for request in requests]
+            missing = [i for i, streams in enumerate(results) if streams is None]
+            if len(missing) > 1:
+                fresh = _parallel_streams(
+                    [requests[i] for i in missing], config.jobs
+                )
+                for i, streams in zip(missing, fresh):
+                    seed_memory_tier(streams, **requests[i])
+                    results[i] = streams
+            else:
+                for i in missing:
+                    results[i] = cached_predictor_streams(**requests[i])
+        else:
+            results = [cached_predictor_streams(**request) for request in requests]
+    return dict(zip(config.benchmarks, results))
 
 
 def suite_misprediction_rate(config: ExperimentConfig) -> float:
@@ -89,7 +144,7 @@ def _maybe_gcirs(
     index_function: IndexFunction, streams: PredictorStreams
 ) -> np.ndarray:
     """Global-CIR stream, computed only when the index actually uses it."""
-    if "GCIR" in index_function.name:
+    if index_function.uses_gcir:
         return streams.gcirs
     return np.zeros(streams.num_branches, dtype=np.int64)
 
@@ -137,7 +192,7 @@ def resetting_counter_statistics(
     index_function = make_index(index_kind, ct_index_bits)
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
-        gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+        gcirs = _maybe_gcirs(index_function, streams)
         indices = index_function.vectorized(streams.pcs, streams.bhrs, gcirs)
         values = resetting_counter_stream(indices, streams.correct, maximum=maximum)
         statistics[name] = BucketStatistics.from_streams(
@@ -155,7 +210,7 @@ def saturating_counter_statistics(
     index_function = make_index(index_kind, config.ct_index_bits)
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
-        gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+        gcirs = _maybe_gcirs(index_function, streams)
         indices = index_function.vectorized(streams.pcs, streams.bhrs, gcirs)
         values = saturating_counter_stream(
             indices,

@@ -1,0 +1,182 @@
+"""Lightweight stage timers and counters for the simulation substrate.
+
+The fast path is built around reuse (one predictor sweep feeds every
+experiment, cached in memory and on disk), and reuse is only trustworthy
+when it is observable: a warm run should *prove* it did zero sweeps, a
+cold run should show where the wall time went.  This module is that
+proof: a process-global :class:`MetricsRegistry` of named counters and
+accumulated timers, cheap enough to leave on permanently.
+
+Conventions
+-----------
+* Counter and timer names are dotted lowercase (``stream_cache.sweeps``,
+  ``experiment.fig5.seconds``).
+* Counters count events; timers accumulate seconds and call counts.
+* :func:`snapshot` returns a plain JSON-serializable dict; worker
+  processes return snapshots that the parent folds in with
+  :func:`merge_snapshot`, so parallel runs report fleet-wide totals.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import Counter, defaultdict
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+logger = logging.getLogger("repro.observability")
+
+#: Schema tag written into ``--profile`` JSON exports.
+PROFILE_SCHEMA = "repro-profile/1"
+
+
+class MetricsRegistry:
+    """Thread-safe named counters and accumulated stage timers."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Counter = Counter()
+        self._timer_seconds: Dict[str, float] = defaultdict(float)
+        self._timer_calls: Counter = Counter()
+
+    # ----- counters ---------------------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self._counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return int(self._counters.get(name, 0))
+
+    # ----- timers -----------------------------------------------------------
+
+    def record_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into timer ``name``."""
+        with self._lock:
+            self._timer_seconds[name] += float(seconds)
+            self._timer_calls[name] += 1
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the enclosed wall time."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_seconds(name, time.perf_counter() - start)
+
+    def timer_seconds(self, name: str) -> float:
+        """Accumulated seconds of timer ``name`` (0.0 when never used)."""
+        with self._lock:
+            return float(self._timer_seconds.get(name, 0.0))
+
+    # ----- aggregation ------------------------------------------------------
+
+    def snapshot(self) -> Dict:
+        """JSON-serializable copy of every counter and timer."""
+        with self._lock:
+            return {
+                "counters": {name: int(value) for name, value in sorted(self._counters.items())},
+                "timers": {
+                    name: {
+                        "seconds": float(self._timer_seconds[name]),
+                        "calls": int(self._timer_calls[name]),
+                    }
+                    for name in sorted(self._timer_seconds)
+                },
+            }
+
+    def merge(self, snapshot: Dict) -> None:
+        """Fold a :func:`snapshot` (e.g. from a worker process) into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.increment(name, int(value))
+        for name, timer in snapshot.get("timers", {}).items():
+            with self._lock:
+                self._timer_seconds[name] += float(timer.get("seconds", 0.0))
+                self._timer_calls[name] += int(timer.get("calls", 0))
+
+    def reset(self) -> None:
+        """Drop every counter and timer (tests and worker-process deltas)."""
+        with self._lock:
+            self._counters.clear()
+            self._timer_seconds.clear()
+            self._timer_calls.clear()
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-line-per-metric summary."""
+        data = self.snapshot()
+        lines = [
+            f"{name} = {value}" for name, value in data["counters"].items()
+        ]
+        lines.extend(
+            f"{name} = {timer['seconds']:.3f}s over {timer['calls']} call(s)"
+            for name, timer in data["timers"].items()
+        )
+        return lines
+
+
+#: The process-global registry used by the library.
+METRICS = MetricsRegistry()
+
+
+def increment(name: str, amount: int = 1) -> None:
+    """Increment a counter on the global registry."""
+    METRICS.increment(name, amount)
+
+
+def counter_value(name: str) -> int:
+    """Read a counter from the global registry."""
+    return METRICS.counter(name)
+
+
+def record_seconds(name: str, seconds: float) -> None:
+    """Accumulate seconds into a timer on the global registry."""
+    METRICS.record_seconds(name, seconds)
+
+
+def timed(name: str):
+    """Time a block against the global registry."""
+    return METRICS.timed(name)
+
+
+def timer_seconds(name: str) -> float:
+    """Read accumulated timer seconds from the global registry."""
+    return METRICS.timer_seconds(name)
+
+
+def snapshot() -> Dict:
+    """Snapshot the global registry."""
+    return METRICS.snapshot()
+
+
+def merge_snapshot(data: Dict) -> None:
+    """Merge a worker snapshot into the global registry."""
+    METRICS.merge(data)
+
+
+def reset_metrics() -> None:
+    """Reset the global registry."""
+    METRICS.reset()
+
+
+def write_profile(path: str, extra: Optional[Dict] = None) -> None:
+    """Write the global registry as a ``--profile`` JSON file."""
+    payload = {"schema": PROFILE_SCHEMA}
+    payload.update(snapshot())
+    if extra:
+        payload["extra"] = extra
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def log_summary(prefix: str = "metrics") -> None:
+    """Log the current summary at INFO (no-op unless logging is configured)."""
+    for line in METRICS.summary_lines():
+        logger.info("%s: %s", prefix, line)

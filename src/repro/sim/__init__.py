@@ -22,6 +22,14 @@ from repro.sim.fast import (
     two_level_pattern_stream,
 )
 from repro.sim.cache import clear_stream_cache, cached_predictor_streams
+from repro.sim.diskcache import (
+    StreamKey,
+    clear_disk_cache,
+    disk_cache_stats,
+    load_cached_streams,
+    store_cached_streams,
+    stream_cache_dir,
+)
 
 __all__ = [
     "simulate",
@@ -35,4 +43,10 @@ __all__ = [
     "resetting_counter_stream",
     "cached_predictor_streams",
     "clear_stream_cache",
+    "StreamKey",
+    "stream_cache_dir",
+    "store_cached_streams",
+    "load_cached_streams",
+    "disk_cache_stats",
+    "clear_disk_cache",
 ]

@@ -1,20 +1,35 @@
-"""Memoized predictor sweeps.
+"""Two-tier (memory + disk) memoization of predictor sweeps.
 
 Every experiment in the paper reuses the same (benchmark, predictor)
 pairs; the predictor sweep is the only sequential-in-Python stage of the
 fast path, so caching it makes the difference between seconds and minutes
 for the full figure suite.  Keys are fully value-based (benchmark name,
-trace length, seed, predictor geometry), so a cached entry is always
-interchangeable with a fresh sweep.
+trace length, seed, predictor geometry, record widths), so a cached entry
+is always interchangeable with a fresh sweep.
+
+Tier 1 is a bounded per-process memo (identical objects on repeat
+lookups); tier 2 is the persistent content-keyed ``.npz`` store in
+:mod:`repro.sim.diskcache`, shared across processes, CLI invocations, and
+parallel workers.  Cache traffic is counted through
+:mod:`repro.observability` (``stream_cache.memory_hits`` /
+``.disk_hits`` / ``.sweeps``), so a warm run can prove it swept nothing.
 """
 
 from __future__ import annotations
 
-import functools
+from collections import OrderedDict
+from typing import Dict
 
+from repro import observability
+from repro.sim.diskcache import StreamKey, load_cached_streams, store_cached_streams
 from repro.sim.fast import PredictorStreams, predictor_streams
 from repro.traces.trace import Trace
 from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, load_benchmark
+
+#: Upper bound on distinct sweeps kept in process memory.
+MEMORY_TIER_MAXSIZE = 128
+
+_memory: "OrderedDict[StreamKey, PredictorStreams]" = OrderedDict()
 
 
 def _load_any_benchmark(name: str, length: int, seed: int) -> Trace:
@@ -27,7 +42,48 @@ def _load_any_benchmark(name: str, length: int, seed: int) -> Trace:
         return load_spec_benchmark(name, length, seed)
 
 
-@functools.lru_cache(maxsize=128)
+def stream_key(
+    benchmark: str,
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    entries: int = 1 << 16,
+    history_bits: int = 16,
+    bhr_record_bits: int = 16,
+    gcir_bits: int = 16,
+) -> StreamKey:
+    """The cache key a :func:`cached_predictor_streams` call resolves to."""
+    return StreamKey(
+        benchmark=benchmark,
+        length=length,
+        seed=seed,
+        entries=entries,
+        history_bits=history_bits,
+        bhr_record_bits=bhr_record_bits,
+        gcir_bits=gcir_bits,
+    )
+
+
+def peek_cached_streams(**request) -> "PredictorStreams | None":
+    """Memory-tier-only lookup; never touches disk or sweeps.
+
+    Lets callers (the parallel runner) find out what still needs
+    computing without triggering the computation themselves.
+    """
+    key = stream_key(**request)
+    streams = _memory.get(key)
+    if streams is not None:
+        _memory.move_to_end(key)
+        observability.increment("stream_cache.memory_hits")
+    return streams
+
+
+def seed_memory_tier(streams: PredictorStreams, **request) -> None:
+    """Insert externally-computed streams (e.g. from a worker) into the memo."""
+    _memory[stream_key(**request)] = streams
+    while len(_memory) > MEMORY_TIER_MAXSIZE:
+        _memory.popitem(last=False)
+
+
 def cached_predictor_streams(
     benchmark: str,
     length: int = DEFAULT_TRACE_LENGTH,
@@ -35,20 +91,57 @@ def cached_predictor_streams(
     entries: int = 1 << 16,
     history_bits: int = 16,
     bhr_record_bits: int = 16,
+    gcir_bits: int = 16,
 ) -> PredictorStreams:
     """Predictor streams for a suite benchmark, memoized by value.
 
     ``benchmark`` may name an IBS-suite or SPEC-like-suite program.
+    Lookups fall through memory -> disk -> fresh sweep; a fresh sweep is
+    persisted so later processes (and parallel workers sharing the cache
+    directory) skip it.
     """
-    trace = _load_any_benchmark(benchmark, length, seed)
-    return predictor_streams(
-        trace,
+    key = stream_key(
+        benchmark,
+        length=length,
+        seed=seed,
         entries=entries,
         history_bits=history_bits,
         bhr_record_bits=bhr_record_bits,
+        gcir_bits=gcir_bits,
     )
+    streams = _memory.get(key)
+    if streams is not None:
+        _memory.move_to_end(key)
+        observability.increment("stream_cache.memory_hits")
+        return streams
+    streams = load_cached_streams(key)
+    if streams is None:
+        observability.increment("stream_cache.sweeps")
+        with observability.timed("stream_cache.sweep_seconds"):
+            trace = _load_any_benchmark(benchmark, length, seed)
+            streams = predictor_streams(
+                trace,
+                entries=entries,
+                history_bits=history_bits,
+                bhr_record_bits=bhr_record_bits,
+                gcir_bits=gcir_bits,
+            )
+        store_cached_streams(key, streams)
+    _memory[key] = streams
+    while len(_memory) > MEMORY_TIER_MAXSIZE:
+        _memory.popitem(last=False)
+    return streams
+
+
+def memory_tier_info() -> Dict[str, int]:
+    """Size/capacity of the in-process tier (for `repro cache stats`)."""
+    return {"entries": len(_memory), "maxsize": MEMORY_TIER_MAXSIZE}
 
 
 def clear_stream_cache() -> None:
-    """Drop all memoized predictor sweeps (mainly for tests)."""
-    cached_predictor_streams.cache_clear()
+    """Drop the in-process memo (mainly for tests).
+
+    The persistent tier is cleared separately with
+    :func:`repro.sim.diskcache.clear_disk_cache`.
+    """
+    _memory.clear()

@@ -1,0 +1,261 @@
+"""Persistent on-disk predictor-stream cache.
+
+The predictor sweep is the only sequential-in-Python stage of the fast
+path; :mod:`repro.sim.cache` memoizes it per process, but every CLI
+invocation, pytest session, and benchmark run used to pay it again.  This
+module makes the sweep a one-time cost per (benchmark, predictor
+geometry) by persisting :class:`~repro.sim.fast.PredictorStreams` as
+content-keyed ``.npz`` entries.
+
+Design points:
+
+* **Content keys.**  :class:`StreamKey` captures everything the sweep
+  depends on (benchmark, trace length, seed, predictor geometry, record
+  widths) plus :data:`STREAM_CACHE_FORMAT`; the key digest names the
+  file, so format bumps and config changes can never alias.
+* **Atomic writes.**  Entries are written to a temporary file in the
+  cache directory and published with ``os.replace``, so a crashed or
+  concurrent writer can never leave a half-written entry under the final
+  name (parallel workers race benignly: last rename wins with identical
+  content).
+* **Corruption tolerance.**  Entries embed a SHA-256 payload checksum
+  and their own key; a damaged, truncated, or stale entry is dropped and
+  recomputed instead of crashing the run.
+* **Observability.**  Hits, misses, corrupt drops, and stores are
+  counted through :mod:`repro.observability`.
+
+The cache directory defaults to ``~/.cache/repro-branch-confidence``
+(respecting ``XDG_CACHE_HOME``) and is overridden with the
+``REPRO_CACHE_DIR`` environment variable; setting ``REPRO_CACHE_DISABLE``
+to a non-empty value other than ``0`` turns the disk tier off entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro import observability
+from repro.sim.fast import PredictorStreams
+
+#: Bump when the on-disk layout or the sweep semantics change; old
+#: entries then simply miss (different digest) instead of being misread.
+STREAM_CACHE_FORMAT = 1
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk tier ("" and "0" mean enabled).
+CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
+
+_STREAMS_SUBDIR = "predictor_streams"
+_PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs")
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    """Value-based identity of one predictor sweep."""
+
+    benchmark: str
+    length: int
+    seed: int
+    entries: int
+    history_bits: int
+    bhr_record_bits: int
+    gcir_bits: int
+
+    def describe(self) -> dict:
+        """The key as a plain dict, including the format version."""
+        payload = dataclasses.asdict(self)
+        payload["format"] = STREAM_CACHE_FORMAT
+        return payload
+
+    def digest(self) -> str:
+        """Stable content digest naming this key's cache entry."""
+        canonical = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_CACHE_DISABLE`` switches the disk tier off."""
+    return os.environ.get(CACHE_DISABLE_ENV, "") in ("", "0")
+
+
+def cache_root() -> Path:
+    """The cache directory (not created until something is stored)."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-branch-confidence"
+
+
+def stream_cache_dir() -> Path:
+    """Directory holding the predictor-stream entries."""
+    return cache_root() / _STREAMS_SUBDIR
+
+
+def entry_path(key: StreamKey) -> Path:
+    """Cache file path for ``key``."""
+    name = f"{key.benchmark}-L{key.length}-s{key.seed}-{key.digest()[:16]}.npz"
+    return stream_cache_dir() / name
+
+
+def _payload_checksum(streams: PredictorStreams) -> str:
+    """SHA-256 over the stream arrays (dtype and shape included)."""
+    digest = hashlib.sha256()
+    for attribute in _PAYLOAD_ARRAYS:
+        array = getattr(streams, attribute)
+        digest.update(attribute.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def store_cached_streams(key: StreamKey, streams: PredictorStreams) -> Optional[Path]:
+    """Persist ``streams`` under ``key``; returns the path, or None when disabled.
+
+    The write is atomic (temporary file + ``os.replace``); failures to
+    write are swallowed after counting, since the cache is an optimization
+    and never a correctness requirement.
+    """
+    if not cache_enabled():
+        return None
+    path = entry_path(key)
+    meta = {
+        "key": key.describe(),
+        "trace_name": streams.trace_name,
+        "checksum": _payload_checksum(streams),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    correct=streams.correct,
+                    bhrs=streams.bhrs,
+                    pcs=streams.pcs,
+                    meta=np.array(json.dumps(meta, sort_keys=True)),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        observability.increment("stream_cache.store_errors")
+        return None
+    observability.increment("stream_cache.stores")
+    return path
+
+
+def load_cached_streams(key: StreamKey) -> Optional[PredictorStreams]:
+    """Load the entry for ``key``, or None on miss/corruption/disable.
+
+    A corrupt entry (unreadable file, key mismatch, checksum mismatch) is
+    deleted best-effort and reported as a miss so the caller recomputes.
+    """
+    if not cache_enabled():
+        return None
+    path = entry_path(key)
+    if not path.exists():
+        observability.increment("stream_cache.disk_misses")
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            streams = PredictorStreams(
+                trace_name=str(meta["trace_name"]),
+                correct=archive["correct"],
+                bhrs=archive["bhrs"],
+                pcs=archive["pcs"],
+                gcir_bits=key.gcir_bits,
+            )
+        if meta["key"] != key.describe():
+            raise ValueError("cache entry key mismatch")
+        if meta["checksum"] != _payload_checksum(streams):
+            raise ValueError("cache entry checksum mismatch")
+    except Exception:
+        observability.increment("stream_cache.disk_corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    observability.increment("stream_cache.disk_hits")
+    return streams
+
+
+@dataclass(frozen=True)
+class DiskCacheStats:
+    """Summary of the on-disk cache state."""
+
+    path: str
+    enabled: bool
+    entries: int
+    total_bytes: int
+
+    def format(self) -> str:
+        size_mib = self.total_bytes / (1024 * 1024)
+        return "\n".join(
+            [
+                f"path:    {self.path}",
+                f"enabled: {'yes' if self.enabled else 'no'}",
+                f"entries: {self.entries}",
+                f"size:    {size_mib:.2f} MiB",
+            ]
+        )
+
+
+def disk_cache_stats() -> DiskCacheStats:
+    """Entry count and footprint of the stream cache directory."""
+    directory = stream_cache_dir()
+    entries = 0
+    total_bytes = 0
+    if directory.is_dir():
+        for item in directory.glob("*.npz"):
+            try:
+                total_bytes += item.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return DiskCacheStats(
+        path=str(directory),
+        enabled=cache_enabled(),
+        entries=entries,
+        total_bytes=total_bytes,
+    )
+
+
+def clear_disk_cache() -> int:
+    """Delete every cache entry (and stray temp files); returns entries removed."""
+    directory = stream_cache_dir()
+    removed = 0
+    if not directory.is_dir():
+        return removed
+    for item in directory.iterdir():
+        if item.suffix not in (".npz", ".tmp"):
+            continue
+        try:
+            item.unlink()
+        except OSError:
+            continue
+        if item.suffix == ".npz":
+            removed += 1
+    return removed

@@ -29,6 +29,7 @@ suite, including under hypothesis-generated random traces.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional, Union
 
@@ -36,7 +37,7 @@ import numpy as np
 
 from repro.traces.trace import Trace
 from repro.utils.bits import bit_mask
-from repro.utils.validation import check_in_range, check_non_negative
+from repro.utils.validation import check_in_range, check_positive
 
 #: 2-bit counter initial value matching the paper ("weakly taken").
 _WEAKLY_TAKEN = 2
@@ -54,6 +55,8 @@ class PredictorStreams:
     bhrs: np.ndarray
     #: Branch PCs (int64 copy of the trace's, for index computation).
     pcs: np.ndarray
+    #: Width of the derived global-CIR stream (see :attr:`gcirs`).
+    gcir_bits: int = 16
 
     @property
     def num_branches(self) -> int:
@@ -69,21 +72,22 @@ class PredictorStreams:
             return 0.0
         return self.num_mispredicts / self.num_branches
 
-    @property
+    @functools.cached_property
     def gcirs(self) -> np.ndarray:
-        """Global-CIR value seen by each branch (derived lazily).
+        """Global-CIR value seen by each branch (derived lazily, then cached).
 
-        The global CIR is the shift register of incorrect bits; its
-        pre-branch value for branch t is built from branches t-1, t-2, ...
+        The global CIR is the ``gcir_bits``-wide shift register of
+        incorrect bits; its pre-branch value for branch t is built from
+        branches t-1, t-2, ... — i.e. bit j is the incorrect bit of
+        branch ``t - 1 - j``, which makes the whole stream a stack of
+        lagged shifts rather than a sequential scan.
         """
+        n = self.num_branches
         incorrect = (self.correct == 0).astype(np.int64)
-        values = np.zeros(self.num_branches, dtype=np.int64)
-        mask = bit_mask(16)
-        running = 0
-        out = values
-        for t, bit in enumerate(incorrect.tolist()):
-            out[t] = running
-            running = ((running << 1) | bit) & mask
+        values = np.zeros(n, dtype=np.int64)
+        for j in range(self.gcir_bits):
+            if n > j + 1:
+                values[j + 1:] |= incorrect[: n - j - 1] << j
         return values
 
 
@@ -92,6 +96,7 @@ def predictor_streams(
     entries: int = 1 << 16,
     history_bits: int = 16,
     bhr_record_bits: int = 16,
+    gcir_bits: int = 16,
 ) -> PredictorStreams:
     """Run a gshare predictor over ``trace`` and return its streams.
 
@@ -101,7 +106,8 @@ def predictor_streams(
     same pre-branch BHR, and the BHR shifts in the resolved outcome.
 
     ``bhr_record_bits`` controls the width of the *recorded* BHR stream
-    (confidence tables may use more history bits than the predictor).
+    (confidence tables may use more history bits than the predictor);
+    ``gcir_bits`` the width of the lazily derived global-CIR stream.
     """
     index_mask = entries - 1
     if entries & index_mask:
@@ -136,6 +142,7 @@ def predictor_streams(
         correct=correct,
         bhrs=bhrs,
         pcs=trace.pcs.astype(np.int64),
+        gcir_bits=gcir_bits,
     )
 
 
@@ -371,7 +378,8 @@ def saturating_counter_stream(
     Saturation is a non-linear scan, so this is a (carefully tightened)
     sequential loop rather than a vectorized reconstruction.
     """
-    check_non_negative(initial, "initial")
+    check_positive(maximum, "maximum")
+    check_in_range(initial, 0, maximum, "initial")
     indices = np.asarray(indices, dtype=np.int64)
     correct_arr = np.asarray(correct)
     n = indices.shape[0]

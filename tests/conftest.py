@@ -6,11 +6,25 @@ integration tests build their own medium-sized configurations.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.traces import Trace
 from repro.workloads import load_benchmark
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_stream_cache(tmp_path_factory):
+    """Point the persistent stream cache at a session-scoped tmp directory.
+
+    Keeps test runs hermetic: nothing is read from or written to the
+    user's real cache, and every session starts cold.
+    """
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("stream-cache"))
+    yield
 
 
 @pytest.fixture(scope="session")

@@ -53,6 +53,25 @@ class TestScalarIndexing:
             ConcatIndex(8, fields=[("mystery", 8)])
 
 
+class TestUsesGcir:
+    def test_pure_pc_and_bhr_do_not_use_gcir(self):
+        assert not PCIndex(8).uses_gcir
+        assert not BHRIndex(8).uses_gcir
+        assert not XorIndex(8, use_pc=True, use_bhr=True).uses_gcir
+        assert not ConcatIndex(8, fields=[("bhr", 4), ("pc", 4)]).uses_gcir
+
+    def test_gcir_consumers_report_it(self):
+        assert GlobalCIRIndex(8).uses_gcir
+        assert XorIndex(8, use_pc=True, use_gcir=True).uses_gcir
+        # The case the old name-based sniff missed: lowercase concat fields.
+        assert ConcatIndex(8, fields=[("gcir", 4), ("pc", 4)]).uses_gcir
+        assert ConcatIndex(8, fields=[("pc", 4), ("gcir", 4)]).uses_gcir
+
+    def test_make_index_kinds_never_use_gcir(self):
+        for kind in ("pc", "bhr", "pc_xor_bhr"):
+            assert not make_index(kind, 8).uses_gcir
+
+
 class TestNames:
     def test_paper_labels(self):
         assert PCIndex(16).name == "PC"

@@ -177,7 +177,8 @@ class TestAblations:
     def test_indexing(self):
         result = get_experiment("ablation-indexing").run(CONFIG)
         assert set(result.curves) == {
-            "BHRxorPC", "concat(PC,BHR)", "GCIR", "BHRxorPCxorGCIR",
+            "BHRxorPC", "concat(PC,BHR)", "concat(PC,GCIR)", "GCIR",
+            "BHRxorPCxorGCIR",
         }
 
     def test_counter_width_monotone_saturated_bucket(self):

@@ -4,9 +4,12 @@ import numpy as np
 import pytest
 
 from repro.analysis.buckets import BucketStatistics
-from repro.core.indexing import GlobalCIRIndex, XorIndex
+from repro.core import OneLevelConfidence
+from repro.core.indexing import ConcatIndex, GlobalCIRIndex, PCIndex, XorIndex
+from repro.core.init_policies import init_ones
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
+    _maybe_gcirs,
     one_level_pattern_statistics,
     ones_init,
     per_benchmark_map,
@@ -17,6 +20,9 @@ from repro.experiments.runner import (
     suite_streams,
     two_level_pattern_statistics,
 )
+from repro.predictors import GsharePredictor
+from repro.sim import simulate
+from repro.workloads import load_benchmark
 
 CONFIG = ExperimentConfig(
     benchmarks=("jpeg_play", "gcc"),
@@ -119,3 +125,83 @@ class TestStatisticsHelpers:
 
     def test_ones_init_width(self):
         assert ones_init(CONFIG) == (1 << CONFIG.cir_bits) - 1
+
+
+class TestGcirIndexedStatistics:
+    """Regression coverage for the concat-GCIR indexing bug.
+
+    ``_maybe_gcirs`` used to sniff ``"GCIR" in index_function.name``,
+    which misses :class:`ConcatIndex`'s lowercase field names
+    (``cat(gcir:8,...)``) — concat-indexed GCIR configurations silently
+    ran on an all-zeros GCIR stream.  These tests pin the fast-path
+    statistics against the reference engine driven with the same index.
+    """
+
+    #: Small geometry so the reference engine stays fast; widths chosen
+    #: so the engine registers (16-bit BHR/GCIR in ``simulate``) cover
+    #: every bit the index functions consume.
+    CONFIG = ExperimentConfig(
+        benchmarks=("jpeg_play",),
+        trace_length=4_000,
+        predictor_entries=1 << 10,
+        predictor_history_bits=10,
+        ct_index_bits=8,
+        cir_bits=6,
+    )
+
+    def _reference_counts(self, index_function):
+        trace = load_benchmark("jpeg_play", self.CONFIG.trace_length, self.CONFIG.seed)
+        estimator = OneLevelConfidence(
+            index_function, cir_bits=self.CONFIG.cir_bits, initializer=init_ones
+        )
+        predictor = GsharePredictor(
+            entries=self.CONFIG.predictor_entries,
+            history_bits=self.CONFIG.predictor_history_bits,
+        )
+        result = simulate(trace, predictor, [estimator])
+        return result.estimator_runs[estimator.name]
+
+    def _fast_statistics(self, index_function):
+        return one_level_pattern_statistics(
+            self.CONFIG, index_function=index_function
+        )["jpeg_play"]
+
+    def test_concat_gcir_matches_reference_engine(self):
+        index = ConcatIndex(8, fields=[("gcir", 4), ("pc", 4)])
+        fast = self._fast_statistics(index)
+        reference = self._reference_counts(index)
+        np.testing.assert_array_equal(fast.counts, reference.counts.astype(float))
+        np.testing.assert_array_equal(
+            fast.mispredicts, reference.mispredicts.astype(float)
+        )
+
+    def test_gcir_alone_matches_reference_engine(self):
+        index = GlobalCIRIndex(8)
+        fast = self._fast_statistics(index)
+        reference = self._reference_counts(index)
+        np.testing.assert_array_equal(fast.counts, reference.counts.astype(float))
+
+    def test_concat_gcir_differs_from_zero_gcir_stream(self):
+        """The fixed path must not reproduce the buggy all-zeros behavior."""
+        index = ConcatIndex(8, fields=[("gcir", 4), ("pc", 4)])
+        fast = self._fast_statistics(index)
+        streams = suite_streams(self.CONFIG)["jpeg_play"]
+        zero_gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+        buggy_indices = index.vectorized(streams.pcs, streams.bhrs, zero_gcirs)
+        from repro.sim.fast import cir_pattern_stream
+
+        buggy_patterns = cir_pattern_stream(
+            buggy_indices, streams.correct, self.CONFIG.cir_bits,
+            ones_init(self.CONFIG),
+        )
+        buggy = BucketStatistics.from_streams(
+            buggy_patterns, streams.correct, num_buckets=1 << self.CONFIG.cir_bits
+        )
+        assert not np.array_equal(fast.counts, buggy.counts)
+
+    def test_maybe_gcirs_dispatch(self):
+        streams = suite_streams(self.CONFIG)["jpeg_play"]
+        concat = ConcatIndex(8, fields=[("gcir", 4), ("pc", 4)])
+        assert _maybe_gcirs(concat, streams) is streams.gcirs
+        assert _maybe_gcirs(concat, streams).any()
+        assert not _maybe_gcirs(PCIndex(8), streams).any()

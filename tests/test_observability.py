@@ -1,0 +1,105 @@
+"""Unit tests for the metrics registry and profile export."""
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.observability import PROFILE_SCHEMA, MetricsRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_starts_at_zero(self, registry):
+        assert registry.counter("never.touched") == 0
+
+    def test_increment_accumulates(self, registry):
+        registry.increment("a")
+        registry.increment("a", 4)
+        assert registry.counter("a") == 5
+
+    def test_counters_are_independent(self, registry):
+        registry.increment("a")
+        registry.increment("b", 2)
+        assert registry.counter("a") == 1
+        assert registry.counter("b") == 2
+
+
+class TestTimers:
+    def test_timed_accumulates_and_counts_calls(self, registry):
+        with registry.timed("stage"):
+            pass
+        with registry.timed("stage"):
+            pass
+        snap = registry.snapshot()
+        assert snap["timers"]["stage"]["calls"] == 2
+        assert snap["timers"]["stage"]["seconds"] >= 0.0
+
+    def test_timed_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timed("stage"):
+                raise RuntimeError("boom")
+        assert registry.snapshot()["timers"]["stage"]["calls"] == 1
+
+    def test_record_seconds(self, registry):
+        registry.record_seconds("stage", 1.5)
+        registry.record_seconds("stage", 0.5)
+        assert registry.timer_seconds("stage") == pytest.approx(2.0)
+
+
+class TestSnapshotMergeReset:
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.increment("a")
+        registry.record_seconds("t", 0.25)
+        encoded = json.dumps(registry.snapshot())
+        assert "0.25" in encoded
+
+    def test_merge_folds_worker_snapshot(self, registry):
+        worker = MetricsRegistry()
+        worker.increment("sweeps", 3)
+        worker.record_seconds("sweep.seconds", 1.0)
+        registry.increment("sweeps", 1)
+        registry.merge(worker.snapshot())
+        assert registry.counter("sweeps") == 4
+        assert registry.timer_seconds("sweep.seconds") == pytest.approx(1.0)
+        assert registry.snapshot()["timers"]["sweep.seconds"]["calls"] == 1
+
+    def test_reset_drops_everything(self, registry):
+        registry.increment("a")
+        registry.record_seconds("t", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {"counters": {}, "timers": {}}
+
+    def test_summary_lines_cover_both_kinds(self, registry):
+        registry.increment("hits", 2)
+        registry.record_seconds("stage", 0.1)
+        lines = registry.summary_lines()
+        assert any("hits = 2" in line for line in lines)
+        assert any("stage" in line and "call(s)" in line for line in lines)
+
+
+class TestModuleLevelHelpers:
+    def test_global_registry_roundtrip(self):
+        observability.reset_metrics()
+        observability.increment("test.counter", 2)
+        with observability.timed("test.timer"):
+            pass
+        assert observability.counter_value("test.counter") == 2
+        assert observability.snapshot()["timers"]["test.timer"]["calls"] == 1
+        observability.reset_metrics()
+        assert observability.counter_value("test.counter") == 0
+
+    def test_write_profile(self, tmp_path):
+        observability.reset_metrics()
+        observability.increment("test.counter")
+        path = tmp_path / "profile.json"
+        observability.write_profile(str(path), extra={"note": "hi"})
+        data = json.loads(path.read_text())
+        assert data["schema"] == PROFILE_SCHEMA
+        assert data["counters"]["test.counter"] == 1
+        assert data["extra"]["note"] == "hi"
+        observability.reset_metrics()

@@ -1,0 +1,140 @@
+"""Parallel experiment runner: worker fan-out must be invisible in results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import observability
+from repro.cli import main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import run_all_reports, run_experiment_report
+from repro.experiments.runner import suite_streams
+from repro.sim.cache import clear_stream_cache
+from repro.sim.diskcache import disk_cache_stats
+
+CONFIG = ExperimentConfig(benchmarks=("jpeg_play", "gcc"), trace_length=3000)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+    clear_stream_cache()
+    observability.reset_metrics()
+    yield tmp_path
+    clear_stream_cache()
+    observability.reset_metrics()
+
+
+class TestParallelSuiteStreams:
+    def test_matches_serial(self, cache_dir):
+        serial = suite_streams(CONFIG)
+        clear_stream_cache()
+        parallel = suite_streams(CONFIG.scaled(jobs=2))
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert np.array_equal(serial[name].correct, parallel[name].correct)
+            assert np.array_equal(serial[name].bhrs, parallel[name].bhrs)
+            assert np.array_equal(serial[name].pcs, parallel[name].pcs)
+
+    def test_workers_populate_shared_disk_cache(self, cache_dir):
+        suite_streams(CONFIG.scaled(jobs=2))
+        assert disk_cache_stats().entries == len(CONFIG.benchmarks)
+        # The parent can now serve the whole suite without a single sweep.
+        clear_stream_cache()
+        observability.reset_metrics()
+        suite_streams(CONFIG)
+        assert observability.counter_value("stream_cache.sweeps") == 0
+        assert observability.counter_value("stream_cache.disk_hits") == len(
+            CONFIG.benchmarks
+        )
+
+    def test_worker_metrics_are_merged(self, cache_dir):
+        suite_streams(CONFIG.scaled(jobs=2))
+        assert observability.counter_value("stream_cache.sweeps") == len(
+            CONFIG.benchmarks
+        )
+
+
+class TestRunAllReports:
+    IDS = ["fig5", "table1"]
+
+    def test_parallel_reports_byte_identical(self, cache_dir):
+        serial = run_all_reports(CONFIG, experiment_ids=self.IDS, jobs=1)
+        parallel = run_all_reports(CONFIG, experiment_ids=self.IDS, jobs=2)
+        assert [r.experiment_id for r in serial] == [r.experiment_id for r in parallel]
+        assert [r.text for r in serial] == [r.text for r in parallel]
+
+    def test_reports_carry_description_and_timing(self, cache_dir):
+        (report,) = run_all_reports(CONFIG, experiment_ids=["fig5"])
+        assert report.experiment_id == "fig5"
+        assert "one-level" in report.description
+        assert report.seconds > 0.0
+        assert report.text == run_experiment_report("fig5", CONFIG).text
+
+    def test_jobs_defaults_to_config(self, cache_dir):
+        reports = run_all_reports(
+            CONFIG.scaled(jobs=2), experiment_ids=self.IDS
+        )
+        assert [r.experiment_id for r in reports] == self.IDS
+
+    def test_unknown_id_raises(self, cache_dir):
+        with pytest.raises(KeyError):
+            run_all_reports(CONFIG, experiment_ids=["fig99"])
+
+
+class TestCliIntegration:
+    def test_run_jobs_flag(self, cache_dir, capsys):
+        code = main([
+            "run", "fig5",
+            "--length", "3000",
+            "--benchmarks", "jpeg_play", "gcc",
+            "--jobs", "2",
+        ])
+        assert code == 0
+        assert "BHRxorPC" in capsys.readouterr().out
+
+    def test_rejects_non_positive_jobs(self, cache_dir):
+        with pytest.raises(SystemExit):
+            main(["run", "fig5", "--jobs", "0"])
+
+    def test_profile_export_and_warm_cache(self, cache_dir, tmp_path, capsys):
+        profile = tmp_path / "profile.json"
+        argv = [
+            "run", "fig5",
+            "--length", "3000",
+            "--benchmarks", "jpeg_play",
+            "--profile", str(profile),
+        ]
+        assert main(argv) == 0
+        first = json.loads(profile.read_text())
+        assert first["counters"]["stream_cache.sweeps"] == 1
+        assert "experiment.fig5.seconds" in first["timers"]
+        assert first["extra"]["experiment"] == "fig5"
+
+        # Second invocation from a cold process-memory but warm disk cache:
+        # the acceptance bar is zero predictor sweeps.
+        clear_stream_cache()
+        observability.reset_metrics()
+        assert main(argv) == 0
+        second = json.loads(profile.read_text())
+        assert second["counters"].get("stream_cache.sweeps", 0) == 0
+        assert second["counters"]["stream_cache.disk_hits"] == 1
+        capsys.readouterr()
+
+    def test_cache_subcommand(self, cache_dir, capsys):
+        assert main(["cache", "path"]) == 0
+        assert str(cache_dir) in capsys.readouterr().out
+
+        main(["run", "fig5", "--length", "3000", "--benchmarks", "jpeg_play"])
+        capsys.readouterr()
+
+        assert main(["cache", "stats"]) == 0
+        stats_output = capsys.readouterr().out
+        assert "entries: 1" in stats_output
+
+        assert main(["cache", "clear"]) == 0
+        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries: 0" in capsys.readouterr().out

@@ -17,7 +17,7 @@ from repro.core import (
     SaturatingCounterConfidence,
     TwoLevelConfidence,
 )
-from repro.core.indexing import make_index
+from repro.core.indexing import ConcatIndex, GlobalCIRIndex, XorIndex, make_index
 from repro.core.init_policies import init_ones
 from repro.predictors import GsharePredictor
 from repro.sim import simulate
@@ -87,6 +87,35 @@ class TestPredictorStreams:
     def test_rejects_non_power_of_two(self):
         with pytest.raises(ValueError):
             predictor_streams(Trace([4], [1]), entries=100)
+
+    def test_gcirs_are_cached(self, small_benchmark_trace):
+        streams = predictor_streams(small_benchmark_trace, entries=256, history_bits=8)
+        assert streams.gcirs is streams.gcirs
+
+    def test_gcir_width_is_honored(self, small_benchmark_trace):
+        wide = predictor_streams(small_benchmark_trace, entries=256, history_bits=8)
+        narrow = predictor_streams(
+            small_benchmark_trace, entries=256, history_bits=8, gcir_bits=3
+        )
+        assert wide.gcir_bits == 16
+        assert narrow.gcir_bits == 3
+        assert int(narrow.gcirs.max()) < 8
+        # A narrow register is exactly the wide register's low bits.
+        assert np.array_equal(narrow.gcirs, wide.gcirs & 0b111)
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_trace_strategy(max_sites=6, max_len=120), st.integers(1, 20))
+    def test_gcir_matches_sequential_register(self, trace, gcir_bits):
+        streams = predictor_streams(
+            trace, entries=64, history_bits=6, gcir_bits=gcir_bits
+        )
+        mask = bit_mask(gcir_bits)
+        running = 0
+        expected = []
+        for is_correct in streams.correct.tolist():
+            expected.append(running)
+            running = ((running << 1) | (0 if is_correct else 1)) & mask
+        assert streams.gcirs.tolist() == expected
 
 
 class TestCirPatternStream:
@@ -162,6 +191,41 @@ class TestOneLevelEquivalence:
         )
         fast_counts = np.bincount(patterns, minlength=1 << cir_bits)
         assert fast_counts.tolist() == run.counts.tolist()
+
+
+class TestGcirIndexedEquivalence:
+    """GCIR-consuming index functions on the fast path vs the reference engine."""
+
+    @staticmethod
+    def _gcir_indexes(index_bits):
+        return [
+            GlobalCIRIndex(index_bits),
+            XorIndex(index_bits, use_bhr=True, use_gcir=True),
+            ConcatIndex(index_bits, fields=[("gcir", 3), ("pc", index_bits - 3)]),
+        ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_trace_strategy(max_sites=8, max_len=120))
+    def test_gcir_index_equivalence(self, trace):
+        index_bits, cir_bits = 5, 6
+        streams = predictor_streams(
+            trace, entries=32, history_bits=5, bhr_record_bits=16, gcir_bits=16
+        )
+        for index in self._gcir_indexes(index_bits):
+            estimator = OneLevelConfidence(
+                index, cir_bits=cir_bits, initializer=init_ones
+            )
+            reference = simulate(
+                trace, GsharePredictor(entries=32, history_bits=5), [estimator]
+            )
+            run = reference.estimator_runs[estimator.name]
+
+            indices = index.vectorized(streams.pcs, streams.bhrs, streams.gcirs)
+            patterns = cir_pattern_stream(
+                indices, streams.correct, cir_bits, bit_mask(cir_bits)
+            )
+            fast_counts = np.bincount(patterns, minlength=1 << cir_bits)
+            assert fast_counts.tolist() == run.counts.tolist(), index.name
 
 
 class TestTwoLevelEquivalence:
@@ -257,6 +321,27 @@ class TestCounterStreams:
         correct = np.asarray([1], dtype=np.uint8)
         assert resetting_counter_stream(indices, correct, 8, initial=3)[0] == 3
         assert resetting_counter_stream(indices, correct, 8, initial=8)[0] == 8
+
+    def test_saturating_initial_above_maximum_rejected(self):
+        indices = np.asarray([0], dtype=np.int64)
+        correct = np.asarray([1], dtype=np.uint8)
+        with pytest.raises(ValueError, match="initial"):
+            saturating_counter_stream(indices, correct, maximum=4, initial=5)
+        with pytest.raises(ValueError, match="initial"):
+            saturating_counter_stream(indices, correct, maximum=4, initial=-1)
+
+    def test_saturating_initial_at_maximum_saturates_immediately(self):
+        indices = np.asarray([0, 0], dtype=np.int64)
+        correct = np.asarray([1, 1], dtype=np.uint8)
+        values = saturating_counter_stream(indices, correct, maximum=4, initial=4)
+        # Correct predictions cannot push the counter past the ceiling.
+        assert values.tolist() == [4, 4]
+
+    def test_saturating_rejects_non_positive_maximum(self):
+        indices = np.asarray([0], dtype=np.int64)
+        correct = np.asarray([1], dtype=np.uint8)
+        with pytest.raises(ValueError, match="maximum"):
+            saturating_counter_stream(indices, correct, maximum=0)
 
 
 class TestFinalPatternsAndFlushes:
