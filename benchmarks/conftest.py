@@ -13,9 +13,10 @@ Benchmarks run with ``rounds=1`` via ``benchmark.pedantic`` — these are
 end-to-end experiment regenerations, not microbenchmarks.
 
 Every session also emits a per-test timing JSON (wall time of each test's
-call phase plus the stream-cache counters) to ``bench_timings.json``
-next to this file — override the path with ``REPRO_BENCH_TIMINGS`` — in
-a shape suitable for BENCH_*.json trajectory tracking.
+call phase plus the stream-cache counters and the session's peak RSS) to
+``bench_timings.json`` next to this file — override the path with
+``REPRO_BENCH_TIMINGS`` — in a shape suitable for BENCH_*.json
+trajectory tracking.
 """
 
 from __future__ import annotations
@@ -56,10 +57,12 @@ def pytest_sessionfinish(session, exitstatus):
     """Write the collected timings (plus cache/sweep counters) as JSON."""
     default_path = os.path.join(os.path.dirname(__file__), "bench_timings.json")
     path = os.environ.get("REPRO_BENCH_TIMINGS", default_path)
+    observability.record_peak_rss()
     payload = {
         "schema": "repro-bench-timings/1",
         "created_unix": time.time(),
         "exit_status": int(exitstatus),
+        "peak_rss_bytes": observability.peak_rss_bytes(),
         "metrics": observability.snapshot(),
         "tests": sorted(_TIMINGS, key=lambda entry: entry["id"]),
     }

@@ -35,6 +35,12 @@ from repro.analysis import (
     confidence_metrics,
     equal_weight_combine,
 )
+from repro.api import (
+    confidence_curve,
+    list_experiments,
+    predictor_streams,
+    run_experiment,
+)
 from repro.core import (
     CIR,
     CIRTable,
@@ -66,6 +72,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # stable facade (repro.api)
+    "run_experiment",
+    "predictor_streams",
+    "confidence_curve",
+    "list_experiments",
     # core
     "ConfidenceEstimator",
     "ConfidenceSignal",

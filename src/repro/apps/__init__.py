@@ -18,10 +18,12 @@ estimators and the synthetic suite:
 
 from repro.apps.dual_path import DualPathReport, evaluate_dual_path
 from repro.apps.hybrid_selector import HybridSelectorReport, evaluate_hybrid_selector
+from repro.apps.report import AppReport
 from repro.apps.reverser import ReverserReport, evaluate_reverser
 from repro.apps.smt_fetch import SMTFetchReport, evaluate_smt_fetch
 
 __all__ = [
+    "AppReport",
     "evaluate_dual_path",
     "DualPathReport",
     "evaluate_smt_fetch",

@@ -22,6 +22,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.apps.report import deprecated_alias
 from repro.core.indexing import make_index
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import suite_streams
@@ -42,7 +43,8 @@ class DualPathReport:
     baseline_cycles_per_branch: float
     #: Cycles per branch with selective dual-path execution.
     dual_path_cycles_per_branch: float
-    per_benchmark_speedup: Dict[str, float]
+    #: Per-benchmark speedup (baseline cycles / dual-path cycles).
+    per_benchmark: Dict[str, float]
 
     @property
     def speedup(self) -> float:
@@ -62,9 +64,26 @@ class DualPathReport:
             f"dual-path {self.dual_path_cycles_per_branch:.3f} "
             f"(speedup {self.speedup:.3f}x)",
         ]
-        for name, speedup in self.per_benchmark_speedup.items():
+        for name, speedup in self.per_benchmark.items():
             lines.append(f"  {name:12s} speedup {speedup:.3f}x")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable record (application, headline, per_benchmark)."""
+        return {
+            "application": "dual-path",
+            "headline": {
+                "fork_threshold": self.fork_threshold,
+                "fork_fraction": self.fork_fraction,
+                "misprediction_coverage": self.misprediction_coverage,
+                "baseline_cycles_per_branch": self.baseline_cycles_per_branch,
+                "dual_path_cycles_per_branch": self.dual_path_cycles_per_branch,
+                "speedup": self.speedup,
+            },
+            "per_benchmark": dict(self.per_benchmark),
+        }
+
+    per_benchmark_speedup = deprecated_alias("per_benchmark_speedup", "per_benchmark")
 
     __str__ = format
 
@@ -145,5 +164,5 @@ def evaluate_dual_path(
         dual_path_cycles_per_branch=(
             dual_cycles / total_branches if total_branches else 0.0
         ),
-        per_benchmark_speedup=per_benchmark,
+        per_benchmark=per_benchmark,
     )

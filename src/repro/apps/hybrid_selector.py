@@ -22,6 +22,7 @@ hopes: near-optimal versus) the chooser.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -94,6 +95,25 @@ class HybridSelectorReport:
             f"{self.confidence_selector_competitive}"
         )
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable record (application, headline, per_benchmark)."""
+        return {
+            "application": "hybrid-selector",
+            "headline": {
+                "mean_bimodal": self.mean_bimodal,
+                "mean_gshare": self.mean_gshare,
+                "mean_chooser": self.mean_chooser,
+                "mean_confidence": self.mean_confidence,
+                "confidence_selector_competitive": (
+                    self.confidence_selector_competitive
+                ),
+            },
+            "per_benchmark": {
+                name: dataclasses.asdict(acc)
+                for name, acc in self.per_benchmark.items()
+            },
+        }
 
     __str__ = format
 

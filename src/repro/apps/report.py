@@ -1,0 +1,48 @@
+"""The common report protocol of the application models.
+
+Every ``repro.apps`` entry point returns a report object satisfying
+:class:`AppReport`: ``format()`` renders the human-readable text the CLI
+prints, ``to_dict()`` returns a JSON-serializable record with a uniform
+shape — ``{"application", "headline", "per_benchmark"}`` — which is what
+``repro apps --json`` emits.  The uniform shape lets downstream tooling
+consume any application's result without per-application parsing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class AppReport(Protocol):
+    """What every application model's report exposes."""
+
+    def format(self) -> str:
+        """Human-readable multi-line report (what the CLI prints)."""
+        ...
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable record: application, headline, per_benchmark."""
+        ...
+
+
+def deprecated_alias(old_name: str, new_name: str) -> property:
+    """A read-only property forwarding ``old_name`` to ``new_name``.
+
+    Keeps historical attribute names (e.g. ``per_benchmark_speedup``)
+    working while steering callers to the unified ``per_benchmark``.
+    """
+
+    def getter(self):
+        warnings.warn(
+            f"{type(self).__name__}.{old_name} is deprecated; "
+            f"use {new_name} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, new_name)
+
+    getter.__name__ = old_name
+    getter.__doc__ = f"Deprecated alias of :attr:`{new_name}`."
+    return property(getter)

@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.apps.report import deprecated_alias
 from repro.core.indexing import make_index
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import ones_init, suite_streams
@@ -46,7 +47,8 @@ class ReverserReport:
     #: Fraction of evaluation branches reversed, per flavour.
     counter_reversed_fraction: float
     pattern_reversed_fraction: float
-    per_benchmark_pattern_gain: Dict[str, float]
+    #: Per-benchmark accuracy gain of the raw-CIR-pattern reverser.
+    per_benchmark: Dict[str, float]
 
     @property
     def counter_reversal_helps(self) -> bool:
@@ -73,6 +75,25 @@ class ReverserReport:
             f"{verdict(self.pattern_reversed_accuracy, self.pattern_reversed_fraction)}",
         ]
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable record (application, headline, per_benchmark)."""
+        return {
+            "application": "reverser",
+            "headline": {
+                "reverse_threshold": self.reverse_threshold,
+                "baseline_accuracy": self.baseline_accuracy,
+                "counter_reversed_accuracy": self.counter_reversed_accuracy,
+                "pattern_reversed_accuracy": self.pattern_reversed_accuracy,
+                "counter_reversed_fraction": self.counter_reversed_fraction,
+                "pattern_reversed_fraction": self.pattern_reversed_fraction,
+            },
+            "per_benchmark": dict(self.per_benchmark),
+        }
+
+    per_benchmark_pattern_gain = deprecated_alias(
+        "per_benchmark_pattern_gain", "per_benchmark"
+    )
 
     __str__ = format
 
@@ -170,5 +191,5 @@ def evaluate_reverser(
         pattern_reversed_fraction=(
             pattern_reversed_total / eval_total if eval_total else 0.0
         ),
-        per_benchmark_pattern_gain=per_benchmark_gain,
+        per_benchmark=per_benchmark_gain,
     )

@@ -28,6 +28,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.apps.report import deprecated_alias
 from repro.core.indexing import make_index
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.runner import suite_streams
@@ -48,7 +49,8 @@ class SMTFetchReport:
     gated_efficiency: float
     #: Fraction of branches that stall fetch under gating.
     gated_stall_fraction: float
-    per_benchmark_gain: Dict[str, float]
+    #: Per-benchmark relative useful-fetch gain from gating.
+    per_benchmark: Dict[str, float]
 
     @property
     def efficiency_gain(self) -> float:
@@ -67,9 +69,27 @@ class SMTFetchReport:
             f"useful fetch efficiency: {self.ungated_efficiency:.3f} -> "
             f"{self.gated_efficiency:.3f} ({self.efficiency_gain:+.1%})",
         ]
-        for name, gain in self.per_benchmark_gain.items():
+        for name, gain in self.per_benchmark.items():
             lines.append(f"  {name:12s} gain {gain:+.1%}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable record (application, headline, per_benchmark)."""
+        return {
+            "application": "smt-fetch",
+            "headline": {
+                "gate_threshold": self.gate_threshold,
+                "ungated_waste_fraction": self.ungated_waste_fraction,
+                "gated_waste_fraction": self.gated_waste_fraction,
+                "ungated_efficiency": self.ungated_efficiency,
+                "gated_efficiency": self.gated_efficiency,
+                "gated_stall_fraction": self.gated_stall_fraction,
+                "efficiency_gain": self.efficiency_gain,
+            },
+            "per_benchmark": dict(self.per_benchmark),
+        }
+
+    per_benchmark_gain = deprecated_alias("per_benchmark_gain", "per_benchmark")
 
     __str__ = format
 
@@ -151,5 +171,5 @@ def evaluate_smt_fetch(
         ungated_efficiency=total_useful / (total_useful + ungated_waste),
         gated_efficiency=total_useful / (total_useful + gated_waste),
         gated_stall_fraction=stalled / total_branches if total_branches else 0.0,
-        per_benchmark_gain=per_benchmark,
+        per_benchmark=per_benchmark,
     )

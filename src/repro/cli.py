@@ -6,12 +6,14 @@ Usage examples::
     repro run fig5                   # run one experiment, print its report
     repro run fig5 --plot            # ... with an ASCII curve plot
     repro run fig5 --jobs 4          # ... sweeping benchmarks in parallel
+    repro run fig5 --chunk-size 65536  # ... bounded-memory streaming run
     repro run fig5 --profile p.json  # ... exporting timers/cache counters
     repro run table1 --csv out.csv   # ... exporting the data series
     repro run-all --jobs 4           # all experiments over a process pool
     repro suite                      # suite statistics (rates, sites)
     repro cache stats                # persistent stream-cache footprint
     repro apps dual-path             # run an application model
+    repro apps dual-path --json      # ... as a JSON record on stdout
     repro trace gcc --length 50000 --out gcc.npz   # dump a trace
 """
 
@@ -57,6 +59,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, help="worker processes for sweep fan-out"
     )
     run_parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="branches per streaming chunk (bounds peak memory; "
+             "results are identical for any value)",
+    )
+    run_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
     )
 
@@ -69,6 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes (experiments fan out; reports stay in order)",
+    )
+    run_all_parser.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="branches per streaming chunk (bounds peak memory)",
     )
     run_all_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
@@ -88,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     suite_parser.add_argument("--length", type=int, default=None)
     suite_parser.add_argument("--seed", type=int, default=None)
+    suite_parser.add_argument("--chunk-size", type=int, default=None)
 
     apps_parser = subparsers.add_parser("apps", help="run an application model")
     apps_parser.add_argument(
@@ -97,6 +109,11 @@ def _build_parser() -> argparse.ArgumentParser:
     apps_parser.add_argument("--length", type=int, default=None)
     apps_parser.add_argument("--seed", type=int, default=None)
     apps_parser.add_argument("--benchmarks", nargs="+", default=None)
+    apps_parser.add_argument("--chunk-size", type=int, default=None)
+    apps_parser.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit the report as JSON (to PATH, or stdout when no PATH)",
+    )
 
     trace_parser = subparsers.add_parser(
         "trace", help="generate and save a benchmark trace"
@@ -122,6 +139,10 @@ def _config_from_args(args: argparse.Namespace):
         if args.jobs < 1:
             raise SystemExit("--jobs must be >= 1")
         overrides["jobs"] = args.jobs
+    if getattr(args, "chunk_size", None) is not None:
+        if args.chunk_size < 1:
+            raise SystemExit("--chunk-size must be >= 1")
+        overrides["chunk_size"] = args.chunk_size
     return config.scaled(**overrides) if overrides else config
 
 
@@ -264,7 +285,18 @@ def _command_apps(args: argparse.Namespace) -> int:
         "hybrid-selector": evaluate_hybrid_selector,
     }
     report = runners[args.application](config)
-    print(report.format())
+    if args.json is not None:
+        import json
+
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+    else:
+        print(report.format())
     return 0
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, benchmark_names
 
@@ -40,6 +40,10 @@ class ExperimentConfig:
     #: Results are merged deterministically, so reports are identical
     #: regardless of the value; workers share the persistent stream cache.
     jobs: int = 1
+    #: Branches per streaming chunk (None = monolithic).  All table state
+    #: carries across chunk boundaries, so every statistic is identical
+    #: for any chunk size; the value only bounds peak working-set memory.
+    chunk_size: Optional[int] = None
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -18,8 +18,16 @@ from repro.core.indexing import IndexFunction, make_index
 from repro.experiments.config import ExperimentConfig
 from repro.sim.cache import (
     cached_predictor_streams,
+    iter_cached_stream_chunks,
     peek_cached_streams,
     seed_memory_tier,
+)
+from repro.sim.chunked import (
+    CIRTableObserver,
+    ResettingCounterObserver,
+    SaturatingCounterObserver,
+    StreamChunk,
+    TwoLevelObserver,
 )
 from repro.sim.fast import (
     PredictorStreams,
@@ -77,7 +85,9 @@ def suite_streams(config: ExperimentConfig) -> Dict[str, PredictorStreams]:
 
     With ``config.jobs > 1`` the (cache-missing) sweeps run in a process
     pool; results are merged back in benchmark order, so the returned
-    mapping is identical to a serial run.
+    mapping is identical to a serial run.  With ``config.chunk_size`` set
+    (and serial jobs), disk traffic routes through the per-chunk cache
+    tier; the returned streams are identical either way.
     """
     requests = [_stream_request(config, name) for name in config.benchmarks]
     with observability.timed("suite_streams.seconds"):
@@ -95,8 +105,53 @@ def suite_streams(config: ExperimentConfig) -> Dict[str, PredictorStreams]:
                 for i in missing:
                     results[i] = cached_predictor_streams(**requests[i])
         else:
-            results = [cached_predictor_streams(**request) for request in requests]
+            results = [
+                cached_predictor_streams(chunk_size=config.chunk_size, **request)
+                for request in requests
+            ]
     return dict(zip(config.benchmarks, results))
+
+
+def suite_stream_chunks(config: ExperimentConfig, benchmark: str):
+    """Predictor stream chunks of one suite benchmark (chunked pipeline).
+
+    A generator over :class:`~repro.sim.chunked.StreamChunk`; backed by
+    the per-chunk disk cache, so warm iterations replay from disk without
+    sweeping and without ever materializing the full streams.
+    """
+    return iter_cached_stream_chunks(
+        chunk_size=config.chunk_size, **_stream_request(config, benchmark)
+    )
+
+
+def _fold_chunk_statistics(
+    config: ExperimentConfig,
+    num_buckets: int,
+    observe: "Callable[[StreamChunk], np.ndarray]",
+) -> "Callable[[str], BucketStatistics]":
+    """Build a per-benchmark fold: chunks -> summed bucket statistics."""
+
+    def fold(benchmark: str) -> BucketStatistics:
+        total = BucketStatistics.zeros(num_buckets)
+        for chunk in suite_stream_chunks(config, benchmark):
+            buckets = observe(chunk)
+            total = total + BucketStatistics.from_streams(
+                buckets, chunk.correct, num_buckets=num_buckets
+            )
+        return total
+
+    return fold
+
+
+def _chunk_indices(
+    index_function: IndexFunction, chunk: StreamChunk
+) -> np.ndarray:
+    """Confidence-table indices of one chunk's accesses."""
+    if index_function.uses_gcir:
+        gcirs = chunk.gcirs
+    else:
+        gcirs = np.zeros(chunk.num_branches, dtype=np.int64)
+    return index_function.vectorized(chunk.pcs, chunk.bhrs, gcirs)
 
 
 def suite_misprediction_rate(config: ExperimentConfig) -> float:
@@ -127,6 +182,21 @@ def one_level_pattern_statistics(
         init_patterns = ones_init(config)
     if index_function is None:
         index_function = make_index(index_kind, config.ct_index_bits)
+    if config.chunk_size is not None:
+        statistics = {}
+        for name in config.benchmarks:
+            observer = CIRTableObserver(
+                config.cir_bits, 1 << config.ct_index_bits, init_patterns
+            )
+            fold = _fold_chunk_statistics(
+                config,
+                1 << config.cir_bits,
+                lambda chunk: observer.observe(
+                    _chunk_indices(index_function, chunk), chunk.correct
+                ),
+            )
+            statistics[name] = fold(name)
+        return statistics
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
         gcirs = _maybe_gcirs(index_function, streams)
@@ -158,6 +228,36 @@ def two_level_pattern_statistics(
     """Second-level CIR-pattern statistics of a two-level mechanism."""
     first_index = make_index(first_index_kind, config.ct_index_bits)
     init = ones_init(config)
+    if config.chunk_size is not None:
+        statistics = {}
+        for name in config.benchmarks:
+            observer = TwoLevelObserver(
+                level1_cir_bits=config.cir_bits,
+                level2_cir_bits=config.cir_bits,
+                table_entries=1 << config.ct_index_bits,
+                second_use_pc=second_use_pc,
+                second_use_bhr=second_use_bhr,
+                level1_init=init,
+                level2_init=init,
+            )
+            fold = _fold_chunk_statistics(
+                config,
+                1 << config.cir_bits,
+                # The monolithic path always feeds the level-1 index a
+                # zero global-CIR stream; match it exactly.
+                lambda chunk: observer.observe(
+                    first_index.vectorized(
+                        chunk.pcs,
+                        chunk.bhrs,
+                        np.zeros(chunk.num_branches, dtype=np.int64),
+                    ),
+                    chunk.correct,
+                    chunk.pcs,
+                    chunk.bhrs,
+                ),
+            )
+            statistics[name] = fold(name)
+        return statistics
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
         gcirs = np.zeros(streams.num_branches, dtype=np.int64)
@@ -190,6 +290,19 @@ def resetting_counter_statistics(
     if ct_index_bits is None:
         ct_index_bits = config.ct_index_bits
     index_function = make_index(index_kind, ct_index_bits)
+    if config.chunk_size is not None:
+        statistics = {}
+        for name in config.benchmarks:
+            observer = ResettingCounterObserver(maximum, 1 << ct_index_bits)
+            fold = _fold_chunk_statistics(
+                config,
+                maximum + 1,
+                lambda chunk: observer.observe(
+                    _chunk_indices(index_function, chunk), chunk.correct
+                ),
+            )
+            statistics[name] = fold(name)
+        return statistics
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
         gcirs = _maybe_gcirs(index_function, streams)
@@ -208,6 +321,21 @@ def saturating_counter_statistics(
 ) -> Dict[str, BucketStatistics]:
     """Saturating-counter bucket statistics (buckets = counter values)."""
     index_function = make_index(index_kind, config.ct_index_bits)
+    if config.chunk_size is not None:
+        statistics = {}
+        for name in config.benchmarks:
+            observer = SaturatingCounterObserver(
+                maximum, 1 << config.ct_index_bits
+            )
+            fold = _fold_chunk_statistics(
+                config,
+                maximum + 1,
+                lambda chunk: observer.observe(
+                    _chunk_indices(index_function, chunk), chunk.correct
+                ),
+            )
+            statistics[name] = fold(name)
+        return statistics
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
         gcirs = _maybe_gcirs(index_function, streams)
@@ -228,6 +356,32 @@ def static_branch_statistics(
     config: ExperimentConfig,
 ) -> Dict[str, BucketStatistics]:
     """Per-static-branch statistics (buckets = dense per-benchmark PC rank)."""
+    if config.chunk_size is not None:
+        statistics = {}
+        for name in config.benchmarks:
+            counts: Dict[int, float] = {}
+            mispredicts: Dict[int, float] = {}
+            for chunk in suite_stream_chunks(config, name):
+                unique_pcs, inverse = np.unique(chunk.pcs, return_inverse=True)
+                chunk_counts = np.bincount(inverse, minlength=unique_pcs.size)
+                chunk_mispredicts = np.bincount(
+                    inverse,
+                    weights=(chunk.correct == 0).astype(np.float64),
+                    minlength=unique_pcs.size,
+                )
+                for pc, count, missed in zip(
+                    unique_pcs.tolist(),
+                    chunk_counts.tolist(),
+                    chunk_mispredicts.tolist(),
+                ):
+                    counts[pc] = counts.get(pc, 0.0) + count
+                    mispredicts[pc] = mispredicts.get(pc, 0.0) + missed
+            ordered = sorted(counts)
+            statistics[name] = BucketStatistics(
+                np.array([counts[pc] for pc in ordered], dtype=np.float64),
+                np.array([mispredicts[pc] for pc in ordered], dtype=np.float64),
+            )
+        return statistics
     statistics: Dict[str, BucketStatistics] = {}
     for name, streams in suite_streams(config).items():
         unique_pcs, inverse = np.unique(streams.pcs, return_inverse=True)

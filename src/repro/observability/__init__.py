@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 import logging
+import sys
 import threading
 import time
 from collections import Counter, defaultdict
@@ -41,6 +42,7 @@ class MetricsRegistry:
         self._counters: Counter = Counter()
         self._timer_seconds: Dict[str, float] = defaultdict(float)
         self._timer_calls: Counter = Counter()
+        self._maxima: Dict[str, float] = {}
 
     # ----- counters ---------------------------------------------------------
 
@@ -53,6 +55,20 @@ class MetricsRegistry:
         """Current value of counter ``name`` (0 when never incremented)."""
         with self._lock:
             return int(self._counters.get(name, 0))
+
+    # ----- maxima -----------------------------------------------------------
+
+    def update_max(self, name: str, value: float) -> None:
+        """Record the running maximum of gauge ``name`` (e.g. peak RSS)."""
+        with self._lock:
+            current = self._maxima.get(name)
+            if current is None or value > current:
+                self._maxima[name] = float(value)
+
+    def maximum(self, name: str) -> float:
+        """Largest value recorded for gauge ``name`` (0.0 when never set)."""
+        with self._lock:
+            return float(self._maxima.get(name, 0.0))
 
     # ----- timers -----------------------------------------------------------
 
@@ -79,9 +95,13 @@ class MetricsRegistry:
     # ----- aggregation ------------------------------------------------------
 
     def snapshot(self) -> Dict:
-        """JSON-serializable copy of every counter and timer."""
+        """JSON-serializable copy of every counter, timer, and max gauge.
+
+        The ``maxima`` key is present only when at least one gauge was
+        recorded, keeping snapshots of older runs comparable.
+        """
         with self._lock:
-            return {
+            data = {
                 "counters": {name: int(value) for name, value in sorted(self._counters.items())},
                 "timers": {
                     name: {
@@ -91,6 +111,11 @@ class MetricsRegistry:
                     for name in sorted(self._timer_seconds)
                 },
             }
+            if self._maxima:
+                data["maxima"] = {
+                    name: float(self._maxima[name]) for name in sorted(self._maxima)
+                }
+            return data
 
     def merge(self, snapshot: Dict) -> None:
         """Fold a :func:`snapshot` (e.g. from a worker process) into this registry."""
@@ -100,13 +125,16 @@ class MetricsRegistry:
             with self._lock:
                 self._timer_seconds[name] += float(timer.get("seconds", 0.0))
                 self._timer_calls[name] += int(timer.get("calls", 0))
+        for name, value in snapshot.get("maxima", {}).items():
+            self.update_max(name, float(value))
 
     def reset(self) -> None:
-        """Drop every counter and timer (tests and worker-process deltas)."""
+        """Drop every counter, timer, and gauge (tests and worker deltas)."""
         with self._lock:
             self._counters.clear()
             self._timer_seconds.clear()
             self._timer_calls.clear()
+            self._maxima.clear()
 
     def summary_lines(self) -> List[str]:
         """Human-readable one-line-per-metric summary."""
@@ -117,6 +145,10 @@ class MetricsRegistry:
         lines.extend(
             f"{name} = {timer['seconds']:.3f}s over {timer['calls']} call(s)"
             for name, timer in data["timers"].items()
+        )
+        lines.extend(
+            f"{name} = {value:.0f} (max)"
+            for name, value in data.get("maxima", {}).items()
         )
         return lines
 
@@ -138,6 +170,44 @@ def counter_value(name: str) -> int:
 def record_seconds(name: str, seconds: float) -> None:
     """Accumulate seconds into a timer on the global registry."""
     METRICS.record_seconds(name, seconds)
+
+
+def update_max(name: str, value: float) -> None:
+    """Record a running-maximum gauge on the global registry."""
+    METRICS.update_max(name, value)
+
+
+def max_value(name: str) -> float:
+    """Read a running-maximum gauge from the global registry."""
+    return METRICS.maximum(name)
+
+
+#: Gauge name under which :func:`record_peak_rss` reports peak memory.
+PEAK_RSS_GAUGE = "memory.peak_rss_bytes"
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident-set size in bytes (0 if unavailable).
+
+    Uses ``resource.getrusage``; ``ru_maxrss`` is kibibytes on Linux and
+    bytes on macOS.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return int(peak)
+    return int(peak) * 1024
+
+
+def record_peak_rss(name: str = PEAK_RSS_GAUGE) -> int:
+    """Sample peak RSS into the ``maxima`` gauge ``name``; returns the bytes."""
+    peak = peak_rss_bytes()
+    if peak:
+        METRICS.update_max(name, peak)
+    return peak
 
 
 def timed(name: str):

@@ -18,10 +18,26 @@ parallel workers.  Cache traffic is counted through
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict
+from typing import Dict, Iterator, Optional
+
+import numpy as np
 
 from repro import observability
-from repro.sim.diskcache import StreamKey, load_cached_streams, store_cached_streams
+from repro.sim.chunked import (
+    GshareState,
+    StreamChunk,
+    num_chunks,
+    resolve_chunk_size,
+    sweep_chunk,
+)
+from repro.sim.diskcache import (
+    ChunkStreamKey,
+    StreamKey,
+    load_cached_chunk,
+    load_cached_streams,
+    store_cached_chunk,
+    store_cached_streams,
+)
 from repro.sim.fast import PredictorStreams, predictor_streams
 from repro.traces.trace import Trace
 from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, load_benchmark
@@ -84,6 +100,95 @@ def seed_memory_tier(streams: PredictorStreams, **request) -> None:
         _memory.popitem(last=False)
 
 
+def chunk_stream_key(
+    benchmark: str,
+    chunk_size: int,
+    chunk_index: int,
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    entries: int = 1 << 16,
+    history_bits: int = 16,
+    bhr_record_bits: int = 16,
+    gcir_bits: int = 16,
+) -> ChunkStreamKey:
+    """The per-chunk disk key of chunk ``chunk_index`` of a chunked sweep."""
+    return ChunkStreamKey(
+        benchmark=benchmark,
+        length=length,
+        seed=seed,
+        entries=entries,
+        history_bits=history_bits,
+        bhr_record_bits=bhr_record_bits,
+        gcir_bits=gcir_bits,
+        chunk_size=chunk_size,
+        chunk_index=chunk_index,
+    )
+
+
+def iter_cached_stream_chunks(
+    benchmark: str,
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    entries: int = 1 << 16,
+    history_bits: int = 16,
+    bhr_record_bits: int = 16,
+    gcir_bits: int = 16,
+    chunk_size: Optional[int] = None,
+) -> Iterator[StreamChunk]:
+    """Generator of predictor stream chunks backed by the per-chunk disk tier.
+
+    Each chunk is looked up under its own content key; a hit also restores
+    the post-chunk :class:`~repro.sim.chunked.GshareState`, so sweeping
+    resumes exactly where the cached prefix left off — the trace is only
+    loaded (lazily, once) when some chunk actually misses.  Chunks are
+    yielded in stream order, so downstream folds see the same stream the
+    monolithic path produces.
+    """
+    step = resolve_chunk_size(chunk_size, length)
+    state: Optional[GshareState] = None
+    trace: Optional[Trace] = None
+    for index in range(num_chunks(length, step)):
+        key = chunk_stream_key(
+            benchmark,
+            chunk_size=step,
+            chunk_index=index,
+            length=length,
+            seed=seed,
+            entries=entries,
+            history_bits=history_bits,
+            bhr_record_bits=bhr_record_bits,
+            gcir_bits=gcir_bits,
+        )
+        loaded = load_cached_chunk(key)
+        if loaded is not None:
+            chunk, state = loaded
+            observability.record_peak_rss()
+            yield chunk
+            continue
+        if trace is None:
+            trace = _load_any_benchmark(benchmark, length, seed)
+        if state is None:
+            # Only possible at index 0: the sweep is sequential, so any
+            # later miss inherits the state of the chunk before it.
+            state = GshareState.fresh(entries)
+        start = index * step
+        stop = min(start + step, length)
+        observability.increment("stream_cache.chunk_sweeps")
+        with observability.timed("stream_cache.chunk_sweep_seconds"):
+            chunk = sweep_chunk(
+                trace.pcs[start:stop],
+                trace.outcomes[start:stop],
+                state,
+                history_bits=history_bits,
+                bhr_record_bits=bhr_record_bits,
+                gcir_bits=gcir_bits,
+                trace_name=trace.name,
+            )
+        store_cached_chunk(key, chunk, state.copy())
+        observability.record_peak_rss()
+        yield chunk
+
+
 def cached_predictor_streams(
     benchmark: str,
     length: int = DEFAULT_TRACE_LENGTH,
@@ -92,13 +197,17 @@ def cached_predictor_streams(
     history_bits: int = 16,
     bhr_record_bits: int = 16,
     gcir_bits: int = 16,
+    chunk_size: Optional[int] = None,
 ) -> PredictorStreams:
     """Predictor streams for a suite benchmark, memoized by value.
 
     ``benchmark`` may name an IBS-suite or SPEC-like-suite program.
     Lookups fall through memory -> disk -> fresh sweep; a fresh sweep is
     persisted so later processes (and parallel workers sharing the cache
-    directory) skip it.
+    directory) skip it.  The result is chunk-size invariant, so the
+    memory tier is shared across chunk sizes; with ``chunk_size`` set,
+    disk traffic goes through the per-chunk tier
+    (:func:`iter_cached_stream_chunks`) instead of the monolithic one.
     """
     key = stream_key(
         benchmark,
@@ -114,19 +223,46 @@ def cached_predictor_streams(
         _memory.move_to_end(key)
         observability.increment("stream_cache.memory_hits")
         return streams
-    streams = load_cached_streams(key)
-    if streams is None:
-        observability.increment("stream_cache.sweeps")
-        with observability.timed("stream_cache.sweep_seconds"):
-            trace = _load_any_benchmark(benchmark, length, seed)
-            streams = predictor_streams(
-                trace,
-                entries=entries,
-                history_bits=history_bits,
-                bhr_record_bits=bhr_record_bits,
-                gcir_bits=gcir_bits,
-            )
-        store_cached_streams(key, streams)
+    if chunk_size is not None:
+        correct_parts = []
+        bhr_parts = []
+        pc_parts = []
+        trace_name = benchmark
+        for chunk in iter_cached_stream_chunks(
+            benchmark,
+            length=length,
+            seed=seed,
+            entries=entries,
+            history_bits=history_bits,
+            bhr_record_bits=bhr_record_bits,
+            gcir_bits=gcir_bits,
+            chunk_size=chunk_size,
+        ):
+            trace_name = chunk.trace_name or trace_name
+            correct_parts.append(chunk.correct)
+            bhr_parts.append(chunk.bhrs)
+            pc_parts.append(chunk.pcs)
+        streams = PredictorStreams(
+            trace_name=trace_name,
+            correct=np.concatenate(correct_parts) if correct_parts else np.zeros(0, dtype=np.uint8),
+            bhrs=np.concatenate(bhr_parts) if bhr_parts else np.zeros(0, dtype=np.int64),
+            pcs=np.concatenate(pc_parts) if pc_parts else np.zeros(0, dtype=np.int64),
+            gcir_bits=gcir_bits,
+        )
+    else:
+        streams = load_cached_streams(key)
+        if streams is None:
+            observability.increment("stream_cache.sweeps")
+            with observability.timed("stream_cache.sweep_seconds"):
+                trace = _load_any_benchmark(benchmark, length, seed)
+                streams = predictor_streams(
+                    trace,
+                    entries=entries,
+                    history_bits=history_bits,
+                    bhr_record_bits=bhr_record_bits,
+                    gcir_bits=gcir_bits,
+                )
+            store_cached_streams(key, streams)
     _memory[key] = streams
     while len(_memory) > MEMORY_TIER_MAXSIZE:
         _memory.popitem(last=False)

@@ -44,6 +44,7 @@ from typing import Optional
 import numpy as np
 
 from repro import observability
+from repro.sim.chunked import GshareState, StreamChunk
 from repro.sim.fast import PredictorStreams
 
 #: Bump when the on-disk layout or the sweep semantics change; old
@@ -57,7 +58,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
 
 _STREAMS_SUBDIR = "predictor_streams"
+_CHUNKS_SUBDIR = "stream_chunks"
 _PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs")
+_CHUNK_PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs", "gcirs")
 
 
 @dataclass(frozen=True)
@@ -82,6 +85,19 @@ class StreamKey:
         """Stable content digest naming this key's cache entry."""
         canonical = json.dumps(self.describe(), sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ChunkStreamKey(StreamKey):
+    """Value-based identity of one chunk of a chunked predictor sweep.
+
+    Extends :class:`StreamKey` with the chunking geometry, so the same
+    sweep at two chunk sizes never aliases, and chunk ``k`` of one run is
+    directly reusable by any later run with the same geometry.
+    """
+
+    chunk_size: int = 0
+    chunk_index: int = 0
 
 
 def cache_enabled() -> bool:
@@ -202,6 +218,133 @@ def load_cached_streams(key: StreamKey) -> Optional[PredictorStreams]:
     return streams
 
 
+def chunk_cache_dir() -> Path:
+    """Directory holding the per-chunk stream entries."""
+    return cache_root() / _CHUNKS_SUBDIR
+
+
+def chunk_entry_path(key: ChunkStreamKey) -> Path:
+    """Cache file path for chunk ``key``."""
+    name = (
+        f"{key.benchmark}-L{key.length}-s{key.seed}"
+        f"-c{key.chunk_size}-k{key.chunk_index}-{key.digest()[:16]}.npz"
+    )
+    return chunk_cache_dir() / name
+
+
+def _chunk_checksum(chunk: StreamChunk, state: GshareState) -> str:
+    """SHA-256 over the chunk streams and the post-chunk predictor state."""
+    digest = hashlib.sha256()
+    for attribute in _CHUNK_PAYLOAD_ARRAYS:
+        array = getattr(chunk, attribute)
+        digest.update(attribute.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    digest.update(b"table")
+    digest.update(np.ascontiguousarray(state.table).tobytes())
+    digest.update(f"{state.bhr}/{state.gcir}/{state.position}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+def store_cached_chunk(
+    key: ChunkStreamKey, chunk: StreamChunk, state_after: GshareState
+) -> Optional[Path]:
+    """Persist one stream chunk plus the post-chunk predictor state.
+
+    Storing the carried-out :class:`~repro.sim.chunked.GshareState` next
+    to the streams is what makes the chunk tier resumable: a later run
+    that hits chunks ``0..k`` can continue sweeping at ``k+1`` without
+    replaying the prefix.
+    """
+    if not cache_enabled():
+        return None
+    path = chunk_entry_path(key)
+    meta = {
+        "key": key.describe(),
+        "trace_name": chunk.trace_name,
+        "start": int(chunk.start),
+        "bhr": int(state_after.bhr),
+        "gcir": int(state_after.gcir),
+        "position": int(state_after.position),
+        "checksum": _chunk_checksum(chunk, state_after),
+    }
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    correct=chunk.correct,
+                    bhrs=chunk.bhrs,
+                    pcs=chunk.pcs,
+                    gcirs=chunk.gcirs,
+                    table=state_after.table,
+                    meta=np.array(json.dumps(meta, sort_keys=True)),
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        observability.increment("stream_cache.chunk_store_errors")
+        return None
+    observability.increment("stream_cache.chunk_stores")
+    return path
+
+
+def load_cached_chunk(
+    key: ChunkStreamKey,
+) -> "Optional[tuple[StreamChunk, GshareState]]":
+    """Load chunk ``key`` and its post-chunk state, or None on miss.
+
+    Mirrors :func:`load_cached_streams`: corrupt entries are dropped
+    best-effort and reported as misses.
+    """
+    if not cache_enabled():
+        return None
+    path = chunk_entry_path(key)
+    if not path.exists():
+        observability.increment("stream_cache.chunk_misses")
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            chunk = StreamChunk(
+                trace_name=str(meta["trace_name"]),
+                start=int(meta["start"]),
+                correct=archive["correct"],
+                bhrs=archive["bhrs"],
+                pcs=archive["pcs"],
+                gcirs=archive["gcirs"],
+            )
+            state = GshareState(
+                table=archive["table"],
+                bhr=int(meta["bhr"]),
+                gcir=int(meta["gcir"]),
+                position=int(meta["position"]),
+            )
+        if meta["key"] != key.describe():
+            raise ValueError("chunk cache entry key mismatch")
+        if meta["checksum"] != _chunk_checksum(chunk, state):
+            raise ValueError("chunk cache entry checksum mismatch")
+    except Exception:
+        observability.increment("stream_cache.chunk_corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    observability.increment("stream_cache.chunk_hits")
+    return chunk, state
+
+
 @dataclass(frozen=True)
 class DiskCacheStats:
     """Summary of the on-disk cache state."""
@@ -224,11 +367,12 @@ class DiskCacheStats:
 
 
 def disk_cache_stats() -> DiskCacheStats:
-    """Entry count and footprint of the stream cache directory."""
-    directory = stream_cache_dir()
+    """Entry count and footprint across both cache tiers (full + chunk)."""
     entries = 0
     total_bytes = 0
-    if directory.is_dir():
+    for directory in (stream_cache_dir(), chunk_cache_dir()):
+        if not directory.is_dir():
+            continue
         for item in directory.glob("*.npz"):
             try:
                 total_bytes += item.stat().st_size
@@ -236,7 +380,7 @@ def disk_cache_stats() -> DiskCacheStats:
                 continue
             entries += 1
     return DiskCacheStats(
-        path=str(directory),
+        path=str(cache_root()),
         enabled=cache_enabled(),
         entries=entries,
         total_bytes=total_bytes,
@@ -245,17 +389,17 @@ def disk_cache_stats() -> DiskCacheStats:
 
 def clear_disk_cache() -> int:
     """Delete every cache entry (and stray temp files); returns entries removed."""
-    directory = stream_cache_dir()
     removed = 0
-    if not directory.is_dir():
-        return removed
-    for item in directory.iterdir():
-        if item.suffix not in (".npz", ".tmp"):
+    for directory in (stream_cache_dir(), chunk_cache_dir()):
+        if not directory.is_dir():
             continue
-        try:
-            item.unlink()
-        except OSError:
-            continue
-        if item.suffix == ".npz":
-            removed += 1
+        for item in directory.iterdir():
+            if item.suffix not in (".npz", ".tmp"):
+                continue
+            try:
+                item.unlink()
+            except OSError:
+                continue
+            if item.suffix == ".npz":
+                removed += 1
     return removed

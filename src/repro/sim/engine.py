@@ -28,6 +28,7 @@ from repro.core.base import BucketSemantics, ConfidenceEstimator
 from repro.predictors.base import BranchPredictor
 from repro.traces.trace import Trace
 from repro.utils.bits import bit_mask
+from repro.utils.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ def simulate(
     estimators: Sequence[ConfidenceEstimator] = (),
     history_bits: int = 16,
     record_streams: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> SimulationResult:
     """Run the reference engine over ``trace``.
 
@@ -99,6 +101,13 @@ def simulate(
         When True, the per-branch correctness, BHR, and global-CIR streams
         are returned for downstream analysis (static profiles, the fast
         engine's contracts).
+    chunk_size:
+        When set, the trace is consumed in chunks of this many branches:
+        per-chunk bucket streams fold into running per-bucket statistics
+        so the estimator-side working set is bounded by the chunk size.
+        The predictor/estimator objects and the engine-owned registers
+        carry across chunk boundaries, so the result is identical for
+        every chunk size (``None`` = one chunk).
     """
     names = [estimator.name for estimator in estimators]
     if len(set(names)) != len(names):
@@ -106,16 +115,18 @@ def simulate(
 
     history_mask = bit_mask(history_bits)
     num_branches = len(trace)
-    bucket_streams = [
-        np.empty(num_branches, dtype=np.int64) for _ in estimators
+    step = num_branches if chunk_size is None else check_positive(chunk_size, "chunk_size")
+    step = max(step, 1)
+
+    counts_acc = [
+        np.zeros(estimator.num_buckets, dtype=np.int64) for estimator in estimators
     ]
-    correct_stream = np.empty(num_branches, dtype=np.uint8)
-    bhr_stream = (
-        np.empty(num_branches, dtype=np.int64) if record_streams else None
-    )
-    gcir_stream = (
-        np.empty(num_branches, dtype=np.int64) if record_streams else None
-    )
+    mispredict_acc = [
+        np.zeros(estimator.num_buckets, dtype=np.int64) for estimator in estimators
+    ]
+    correct_parts = []
+    bhr_parts = [] if record_streams else None
+    gcir_parts = [] if record_streams else None
 
     # Hot loop: hoist bound methods and iterate plain Python ints.
     predict = predictor.predict
@@ -123,43 +134,81 @@ def simulate(
     estimator_ops = [
         (estimator.lookup, estimator.update) for estimator in estimators
     ]
-    pcs = trace.pcs.tolist()
-    outcomes = trace.outcomes.tolist()
 
     bhr = 0
     gcir = 0
     mispredicts = 0
-    for position in range(num_branches):
-        pc = pcs[position]
-        outcome = outcomes[position]
-        prediction = predict(pc, bhr)
-        correct = prediction == outcome
-        if record_streams:
-            bhr_stream[position] = bhr
-            gcir_stream[position] = gcir
-        for slot, (lookup, update) in enumerate(estimator_ops):
-            bucket_streams[slot][position] = lookup(pc, bhr, gcir)
-            update(pc, bhr, gcir, correct)
-        update_predictor(pc, bhr, outcome)
-        correct_stream[position] = correct
-        if not correct:
-            mispredicts += 1
-        bhr = ((bhr << 1) | outcome) & history_mask
-        gcir = ((gcir << 1) | (0 if correct else 1)) & history_mask
+    for chunk_start in range(0, max(num_branches, 1), step):
+        chunk_stop = min(chunk_start + step, num_branches)
+        chunk_len = chunk_stop - chunk_start
+        bucket_streams = [
+            np.empty(chunk_len, dtype=np.int64) for _ in estimators
+        ]
+        correct_stream = np.empty(chunk_len, dtype=np.uint8)
+        bhr_stream = (
+            np.empty(chunk_len, dtype=np.int64) if record_streams else None
+        )
+        gcir_stream = (
+            np.empty(chunk_len, dtype=np.int64) if record_streams else None
+        )
+        pcs = trace.pcs[chunk_start:chunk_stop].tolist()
+        outcomes = trace.outcomes[chunk_start:chunk_stop].tolist()
 
-    incorrect = (correct_stream == 0).astype(np.int64)
+        for position in range(chunk_len):
+            pc = pcs[position]
+            outcome = outcomes[position]
+            prediction = predict(pc, bhr)
+            correct = prediction == outcome
+            if record_streams:
+                bhr_stream[position] = bhr
+                gcir_stream[position] = gcir
+            for slot, (lookup, update) in enumerate(estimator_ops):
+                bucket_streams[slot][position] = lookup(pc, bhr, gcir)
+                update(pc, bhr, gcir, correct)
+            update_predictor(pc, bhr, outcome)
+            correct_stream[position] = correct
+            if not correct:
+                mispredicts += 1
+            bhr = ((bhr << 1) | outcome) & history_mask
+            gcir = ((gcir << 1) | (0 if correct else 1)) & history_mask
+
+        incorrect = (correct_stream == 0).astype(np.int64)
+        for slot, estimator in enumerate(estimators):
+            chunk_counts = np.bincount(
+                bucket_streams[slot], minlength=estimator.num_buckets
+            )
+            chunk_mispredicts = np.bincount(
+                bucket_streams[slot],
+                weights=incorrect,
+                minlength=estimator.num_buckets,
+            ).astype(np.int64)
+            if chunk_counts.shape[0] > counts_acc[slot].shape[0]:
+                grow = chunk_counts.shape[0] - counts_acc[slot].shape[0]
+                counts_acc[slot] = np.concatenate(
+                    (counts_acc[slot], np.zeros(grow, dtype=np.int64))
+                )
+                mispredict_acc[slot] = np.concatenate(
+                    (mispredict_acc[slot], np.zeros(grow, dtype=np.int64))
+                )
+            counts_acc[slot][: chunk_counts.shape[0]] += chunk_counts
+            mispredict_acc[slot][: chunk_counts.shape[0]] += chunk_mispredicts
+        correct_parts.append(correct_stream)
+        if record_streams:
+            bhr_parts.append(bhr_stream)
+            gcir_parts.append(gcir_stream)
+
+    correct_stream = (
+        np.concatenate(correct_parts) if correct_parts
+        else np.zeros(0, dtype=np.uint8)
+    )
     estimator_runs: Dict[str, EstimatorRun] = {}
-    for estimator, buckets in zip(estimators, bucket_streams):
-        counts = np.bincount(buckets, minlength=estimator.num_buckets)
-        bucket_mispredicts = np.bincount(
-            buckets, weights=incorrect, minlength=estimator.num_buckets
-        ).astype(np.int64)
+    for slot, estimator in enumerate(estimators):
         order = estimator.bucket_order
         estimator_runs[estimator.name] = EstimatorRun(
             estimator_name=estimator.name,
             semantics=estimator.semantics,
-            counts=counts,
-            mispredicts=bucket_mispredicts,
+            counts=counts_acc[slot],
+            mispredicts=mispredict_acc[slot],
             bucket_order=None if order is None else np.asarray(order, dtype=np.int64),
         )
 
@@ -169,6 +218,6 @@ def simulate(
         num_mispredicts=mispredicts,
         estimator_runs=estimator_runs,
         correct_stream=correct_stream,
-        bhr_stream=bhr_stream,
-        gcir_stream=gcir_stream,
+        bhr_stream=np.concatenate(bhr_parts) if record_streams else None,
+        gcir_stream=np.concatenate(gcir_parts) if record_streams else None,
     )

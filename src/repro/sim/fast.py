@@ -97,6 +97,7 @@ def predictor_streams(
     history_bits: int = 16,
     bhr_record_bits: int = 16,
     gcir_bits: int = 16,
+    chunk_size: Optional[int] = None,
 ) -> PredictorStreams:
     """Run a gshare predictor over ``trace`` and return its streams.
 
@@ -104,6 +105,10 @@ def predictor_streams(
     :class:`repro.predictors.gshare.GsharePredictor` through the reference
     engine: the table starts weakly-taken, prediction and training use the
     same pre-branch BHR, and the BHR shifts in the resolved outcome.
+    The sweep runs on the vectorized table-state-carrying kernel of
+    :mod:`repro.sim.chunked`; ``chunk_size`` bounds the kernel's working
+    set (``None`` sweeps the trace as one chunk) and never changes the
+    output.
 
     ``bhr_record_bits`` controls the width of the *recorded* BHR stream
     (confidence tables may use more history bits than the predictor);
@@ -112,37 +117,15 @@ def predictor_streams(
     index_mask = entries - 1
     if entries & index_mask:
         raise ValueError(f"entries must be a power of two, got {entries}")
-    history_mask = bit_mask(history_bits)
-    record_mask = bit_mask(bhr_record_bits)
+    from repro.sim.chunked import sweep_streams
 
-    n = len(trace)
-    correct = np.empty(n, dtype=np.uint8)
-    bhrs = np.empty(n, dtype=np.int64)
-    table = [_WEAKLY_TAKEN] * entries
-    pcs = trace.pcs.tolist()
-    outcomes = trace.outcomes.tolist()
-
-    bhr = 0
-    for t in range(n):
-        pc = pcs[t]
-        outcome = outcomes[t]
-        index = ((pc >> _PC_ALIGNMENT_BITS) ^ (bhr & history_mask)) & index_mask
-        counter = table[index]
-        correct[t] = (counter >> 1) == outcome
-        bhrs[t] = bhr & record_mask
-        if outcome:
-            if counter < 3:
-                table[index] = counter + 1
-        elif counter > 0:
-            table[index] = counter - 1
-        bhr = (bhr << 1) | outcome
-
-    return PredictorStreams(
-        trace_name=trace.name,
-        correct=correct,
-        bhrs=bhrs,
-        pcs=trace.pcs.astype(np.int64),
+    return sweep_streams(
+        trace,
+        entries=entries,
+        history_bits=history_bits,
+        bhr_record_bits=bhr_record_bits,
         gcir_bits=gcir_bits,
+        chunk_size=chunk_size,
     )
 
 
@@ -335,7 +318,9 @@ def cir_pattern_stream_with_flushes(
     """
     if policy not in ("reinit", "keep", "keep_lastbit"):
         raise ValueError(f"unknown flush policy {policy!r}")
-    check_in_range(flush_interval, 1, 1 << 31, "flush_interval")
+    # A non-positive interval would make the segment loop below produce an
+    # empty (or never-terminating) stream; reject it up front.
+    check_positive(flush_interval, "flush_interval")
     indices = np.asarray(indices, dtype=np.int64)
     correct_arr = np.asarray(correct)
     n = indices.shape[0]
@@ -375,27 +360,21 @@ def saturating_counter_stream(
 ) -> np.ndarray:
     """Per-access pre-update values of a table of saturating counters.
 
-    Saturation is a non-linear scan, so this is a (carefully tightened)
-    sequential loop rather than a vectorized reconstruction.
+    Saturation is a non-linear recurrence, but the per-step update is a
+    clamp-affine function, so the whole table evaluates as one segmented
+    clamped-walk scan (:func:`repro.sim.chunked.segmented_clamped_walk`)
+    instead of a sequential Python loop.
     """
     check_positive(maximum, "maximum")
     check_in_range(initial, 0, maximum, "initial")
+    from repro.sim.chunked import segmented_clamped_walk
+
     indices = np.asarray(indices, dtype=np.int64)
     correct_arr = np.asarray(correct)
     n = indices.shape[0]
     if table_entries is None:
         table_entries = int(indices.max(initial=0)) + 1 if n else 1
-    table = [initial] * table_entries
-    values = np.empty(n, dtype=np.int64)
-    index_list = indices.tolist()
-    correct_list = (correct_arr != 0).tolist()
-    for t in range(n):
-        entry = index_list[t]
-        value = table[entry]
-        values[t] = value
-        if correct_list[t]:
-            if value < maximum:
-                table[entry] = value + 1
-        elif value > 0:
-            table[entry] = value - 1
+    deltas = np.where(correct_arr != 0, 1, -1)
+    init_values = np.full(table_entries, initial, dtype=np.int64)
+    values, _ = segmented_clamped_walk(indices, deltas, 0, maximum, init_values)
     return values

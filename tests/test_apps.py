@@ -48,7 +48,7 @@ class TestDualPath:
 
     def test_benchmarks_override(self):
         report = evaluate_dual_path(CONFIG, benchmarks=("jpeg_play",))
-        assert set(report.per_benchmark_speedup) == {"jpeg_play"}
+        assert set(report.per_benchmark) == {"jpeg_play"}
 
 
 class TestSMTFetch:

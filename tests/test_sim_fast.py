@@ -392,3 +392,11 @@ class TestFinalPatternsAndFlushes:
                 np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.uint8),
                 4, 4, 10, policy="whatever",
             )
+
+    @pytest.mark.parametrize("flush_interval", [0, -1, -100])
+    def test_non_positive_flush_interval_rejected(self, flush_interval):
+        with pytest.raises(ValueError, match="flush_interval"):
+            cir_pattern_stream_with_flushes(
+                np.zeros(4, dtype=np.int64), np.ones(4, dtype=np.uint8),
+                4, 4, flush_interval, policy="keep",
+            )
