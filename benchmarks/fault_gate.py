@@ -1,0 +1,115 @@
+"""CI gate: injected faults must not change a single experiment report.
+
+Runs the registered experiment suite twice on a reduced configuration:
+once fault-free and serial (the golden outputs), then once with a
+deterministic low-rate fault schedule (worker crashes, corrupted cache
+entries, store ``OSError``, slow tasks) under ``--jobs``/``--chunk-size``
+against a cold cache.  The faulted run must complete and every report
+must be byte-identical to its golden counterpart; any divergence fails
+the gate.
+
+Usage (CI)::
+
+    PYTHONPATH=src python benchmarks/fault_gate.py --out BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+DEFAULT_SPEC = (
+    "seed=1306,worker_crash=0.35,corrupt_entry=0.5,"
+    "store_oserror=0.5,slow_task=0.25,slow_seconds=0.2"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=4000)
+    parser.add_argument("--benchmarks", nargs="+", default=["jpeg_play", "gcc"])
+    parser.add_argument("--experiments", nargs="+", default=None,
+                        help="experiment ids (default: every registered one)")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--chunk-size", type=int, default=1024)
+    parser.add_argument("--max-retries", type=int, default=2)
+    parser.add_argument("--task-timeout", type=float, default=120.0)
+    parser.add_argument("--spec", default=DEFAULT_SPEC,
+                        help="REPRO_FAULT_SPEC for the faulted run")
+    parser.add_argument("--out", default=None, help="write a JSON report here")
+    args = parser.parse_args(argv)
+
+    from repro import observability
+    from repro.experiments.config import DEFAULT_CONFIG
+    from repro.experiments.registry import list_experiments, run_all_reports
+    from repro.sim.cache import clear_stream_cache
+    from repro.testing import faults
+
+    ids = args.experiments or [experiment.id for experiment in list_experiments()]
+    config = DEFAULT_CONFIG.scaled(
+        benchmarks=tuple(args.benchmarks), trace_length=args.length
+    )
+
+    os.environ.pop(faults.FAULT_SPEC_ENV, None)
+    faults.reset_fault_state()
+    with tempfile.TemporaryDirectory() as golden_cache:
+        os.environ["REPRO_CACHE_DIR"] = golden_cache
+        clear_stream_cache()
+        observability.reset_metrics()
+        golden = run_all_reports(config, experiment_ids=ids, jobs=1)
+
+    os.environ[faults.FAULT_SPEC_ENV] = args.spec
+    faults.reset_fault_state()
+    with tempfile.TemporaryDirectory() as faulted_cache:
+        os.environ["REPRO_CACHE_DIR"] = faulted_cache
+        clear_stream_cache()
+        observability.reset_metrics()
+        faulted = run_all_reports(
+            config.scaled(
+                jobs=args.jobs,
+                chunk_size=args.chunk_size,
+                max_retries=args.max_retries,
+                task_timeout=args.task_timeout,
+            ),
+            experiment_ids=ids,
+            jobs=args.jobs,
+        )
+        counters = observability.snapshot()["counters"]
+    os.environ.pop(faults.FAULT_SPEC_ENV, None)
+
+    divergent = [
+        g.experiment_id
+        for g, f in zip(golden, faulted)
+        if g.experiment_id != f.experiment_id or g.text != f.text
+    ]
+    taxonomy = {
+        name: counters.get(name, 0) for name in observability.ERROR_TAXONOMY
+    }
+    report = {
+        "schema": "repro-fault-gate/1",
+        "spec": args.spec,
+        "experiments": ids,
+        "jobs": args.jobs,
+        "chunk_size": args.chunk_size,
+        "divergent": divergent,
+        "passed": not divergent,
+        "taxonomy": taxonomy,
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    for name, value in taxonomy.items():
+        print(f"{name} = {value}")
+    if divergent:
+        print(f"FAIL: {len(divergent)} report(s) diverged: {', '.join(divergent)}")
+        return 1
+    print(f"PASS: {len(ids)} faulted reports byte-identical to golden outputs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "results are identical for any value)",
     )
     run_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per failing/timed-out parallel task before "
+             "abort (errors) or serial fallback (timeouts)",
+    )
+    run_parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="seconds to wait per parallel task before retrying it",
+    )
+    run_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
     )
 
@@ -80,6 +89,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument(
         "--chunk-size", type=int, default=None,
         help="branches per streaming chunk (bounds peak memory)",
+    )
+    run_all_parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="retries per failing/timed-out parallel task before "
+             "abort (errors) or serial fallback (timeouts)",
+    )
+    run_all_parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="seconds to wait per parallel task before retrying it",
     )
     run_all_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
@@ -143,6 +161,14 @@ def _config_from_args(args: argparse.Namespace):
         if args.chunk_size < 1:
             raise SystemExit("--chunk-size must be >= 1")
         overrides["chunk_size"] = args.chunk_size
+    if getattr(args, "max_retries", None) is not None:
+        if args.max_retries < 0:
+            raise SystemExit("--max-retries must be >= 0")
+        overrides["max_retries"] = args.max_retries
+    if getattr(args, "task_timeout", None) is not None:
+        if args.task_timeout <= 0:
+            raise SystemExit("--task-timeout must be > 0")
+        overrides["task_timeout"] = args.task_timeout
     return config.scaled(**overrides) if overrides else config
 
 

@@ -43,7 +43,16 @@ class ExperimentConfig:
     #: Branches per streaming chunk (None = monolithic).  All table state
     #: carries across chunk boundaries, so every statistic is identical
     #: for any chunk size; the value only bounds peak working-set memory.
+    #: Composes with ``jobs``: parallel workers sweep through the
+    #: per-chunk cache tier too.
     chunk_size: Optional[int] = None
+    #: Retries granted to a failing/timed-out parallel worker task before
+    #: the runner aborts (deterministic errors) or degrades to the serial
+    #: path (timeouts).  Ignored when ``jobs == 1``.
+    max_retries: int = 2
+    #: Seconds to wait for one parallel worker task before it is counted
+    #: as timed out and retried (None = wait indefinitely).
+    task_timeout: Optional[float] = None
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -200,10 +200,19 @@ def _report_worker(payload: Tuple[str, ExperimentConfig]):
     deterministic: parent-side output depends only on report text and
     registration order.
     """
+    from repro.testing import faults
+
     experiment_id, config = payload
     observability.reset_metrics()
+    faults.inject_worker_faults(experiment_id)
     report = run_experiment_report(experiment_id, config)
     return report, observability.snapshot()
+
+
+def _serial_report(payload: Tuple[str, ExperimentConfig]) -> ExperimentReport:
+    """In-parent degraded path: the same experiment, no pool, no fault hooks."""
+    experiment_id, config = payload
+    return run_experiment_report(experiment_id, config)
 
 
 def run_all_reports(
@@ -217,23 +226,31 @@ def run_all_reports(
     ``config.jobs`` forced to 1 (the pool already provides the
     parallelism) and populate the shared persistent stream cache; reports
     come back in the requested order, byte-identical to a serial run.
+    The pool is fault-tolerant (:func:`repro.utils.resilient.resilient_map`):
+    crashed workers are re-run, slow ones time out and retry per
+    ``config.task_timeout``/``config.max_retries``, and repeated pool
+    loss degrades to computing the remainder serially in the parent.
     """
     ids = (
         list(experiment_ids)
         if experiment_ids is not None
         else [experiment.id for experiment in list_experiments()]
     )
+    for experiment_id in ids:
+        get_experiment(experiment_id)  # unknown ids fail fast, pre-pool
     jobs = config.jobs if jobs is None else jobs
     if jobs <= 1 or len(ids) <= 1:
         return [run_experiment_report(experiment_id, config) for experiment_id in ids]
 
-    from concurrent.futures import ProcessPoolExecutor
+    from repro.utils.resilient import resilient_map
 
     worker_config = config.scaled(jobs=1)
     payloads = [(experiment_id, worker_config) for experiment_id in ids]
-    reports: List[ExperimentReport] = []
-    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
-        for report, metrics in pool.map(_report_worker, payloads):
-            observability.merge_snapshot(metrics)
-            reports.append(report)
-    return reports
+    return resilient_map(
+        _report_worker,
+        payloads,
+        jobs=min(jobs, len(ids)),
+        serial_worker=_serial_report,
+        max_retries=config.max_retries,
+        task_timeout=config.task_timeout,
+    )

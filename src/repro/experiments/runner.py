@@ -18,10 +18,13 @@ from repro.core.indexing import IndexFunction, make_index
 from repro.experiments.config import ExperimentConfig
 from repro.sim.cache import (
     cached_predictor_streams,
+    has_disk_entry,
     iter_cached_stream_chunks,
     peek_cached_streams,
     seed_memory_tier,
 )
+from repro.testing import faults
+from repro.utils.resilient import resilient_map
 from repro.sim.chunked import (
     CIRTableObserver,
     ResettingCounterObserver,
@@ -55,55 +58,83 @@ def _stream_request(config: ExperimentConfig, benchmark: str) -> Dict:
     }
 
 
-def _stream_worker(request: Dict):
+def _stream_worker(payload: Dict):
     """Process-pool entry point: run one sweep, report its metrics delta.
 
     Workers share the persistent disk cache with the parent (and each
     other), so whatever they compute is immediately reusable; the metrics
-    snapshot rides back so the parent can account fleet-wide totals.
+    snapshot rides back so the parent can account fleet-wide totals.  The
+    payload carries the chunk size alongside the cache-key request, so a
+    ``jobs > 1`` run sweeps through the same per-chunk tier a serial
+    chunked run would.
     """
     observability.reset_metrics()
-    streams = cached_predictor_streams(**request)
+    request = payload["request"]
+    faults.inject_worker_faults(request.get("benchmark", ""))
+    streams = cached_predictor_streams(chunk_size=payload["chunk_size"], **request)
     return streams, observability.snapshot()
 
 
-def _parallel_streams(requests: List[Dict], jobs: int) -> List[PredictorStreams]:
-    """Fan sweep requests across a process pool, preserving request order."""
-    from concurrent.futures import ProcessPoolExecutor
+def _serial_stream_worker(payload: Dict) -> PredictorStreams:
+    """In-parent degraded path: the same sweep, no pool, no fault hooks."""
+    return cached_predictor_streams(
+        chunk_size=payload["chunk_size"], **payload["request"]
+    )
 
-    workers = min(jobs, len(requests))
-    results: List[PredictorStreams] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        for streams, metrics in pool.map(_stream_worker, requests):
-            observability.merge_snapshot(metrics)
-            results.append(streams)
-    return results
+
+def _parallel_streams(
+    requests: List[Dict], config: ExperimentConfig
+) -> List[PredictorStreams]:
+    """Fan sweep requests across a fault-tolerant pool, in request order.
+
+    Crashed workers, slow tasks, and failing tasks are retried / degraded
+    per :func:`repro.utils.resilient.resilient_map`; the returned streams
+    are byte-identical to a serial run regardless.
+    """
+    payloads = [
+        {"request": request, "chunk_size": config.chunk_size}
+        for request in requests
+    ]
+    return resilient_map(
+        _stream_worker,
+        payloads,
+        jobs=min(config.jobs, len(requests)),
+        serial_worker=_serial_stream_worker,
+        max_retries=config.max_retries,
+        task_timeout=config.task_timeout,
+    )
 
 
 def suite_streams(config: ExperimentConfig) -> Dict[str, PredictorStreams]:
     """Predictor streams for every benchmark in the config's suite.
 
-    With ``config.jobs > 1`` the (cache-missing) sweeps run in a process
-    pool; results are merged back in benchmark order, so the returned
-    mapping is identical to a serial run.  With ``config.chunk_size`` set
-    (and serial jobs), disk traffic routes through the per-chunk cache
-    tier; the returned streams are identical either way.
+    With ``config.jobs > 1`` the cache-missing sweeps run in a
+    fault-tolerant process pool; results merge back in benchmark order,
+    so the returned mapping is identical to a serial run.  ``chunk_size``
+    composes with ``jobs``: workers (and the serial path) route disk
+    traffic through the per-chunk cache tier, sweeping with O(chunk)
+    memory.  Sweeps whose entries already sit on disk are loaded serially
+    — pool startup is only paid when something actually needs computing.
     """
     requests = [_stream_request(config, name) for name in config.benchmarks]
     with observability.timed("suite_streams.seconds"):
         if config.jobs > 1 and len(requests) > 1:
             results = [peek_cached_streams(**request) for request in requests]
             missing = [i for i, streams in enumerate(results) if streams is None]
-            if len(missing) > 1:
-                fresh = _parallel_streams(
-                    [requests[i] for i in missing], config.jobs
-                )
-                for i, streams in zip(missing, fresh):
+            cold = [
+                i for i in missing
+                if not has_disk_entry(chunk_size=config.chunk_size, **requests[i])
+            ]
+            if len(cold) > 1:
+                fresh = _parallel_streams([requests[i] for i in cold], config)
+                for i, streams in zip(cold, fresh):
                     seed_memory_tier(streams, **requests[i])
                     results[i] = streams
-            else:
-                for i in missing:
-                    results[i] = cached_predictor_streams(**requests[i])
+            for i in missing:
+                if results[i] is None:
+                    results[i] = cached_predictor_streams(
+                        chunk_size=config.chunk_size, **requests[i]
+                    )
         else:
             results = [
                 cached_predictor_streams(chunk_size=config.chunk_size, **request)

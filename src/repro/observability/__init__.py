@@ -33,6 +33,24 @@ logger = logging.getLogger("repro.observability")
 #: Schema tag written into ``--profile`` JSON exports.
 PROFILE_SCHEMA = "repro-profile/1"
 
+#: Fault-tolerance error taxonomy.  These counters are zero-filled into
+#: every ``--profile`` export, so dashboards and the fault-injection CI
+#: gate can rely on the keys existing whether or not anything failed:
+#:
+#: * ``faults.injected`` — faults fired by :mod:`repro.testing.faults`
+#: * ``retries.attempted`` — worker-task and cache-store retry attempts
+#: * ``tasks.timed_out`` — parallel tasks that exceeded ``task_timeout``
+#: * ``pool.broken`` — process pools lost to a crashed worker
+#: * ``degraded.serial_fallback`` — tasks finished on the in-parent
+#:   serial path after retries/pool rebuilds were exhausted
+ERROR_TAXONOMY = (
+    "faults.injected",
+    "retries.attempted",
+    "tasks.timed_out",
+    "pool.broken",
+    "degraded.serial_fallback",
+)
+
 
 class MetricsRegistry:
     """Thread-safe named counters and accumulated stage timers."""
@@ -236,9 +254,16 @@ def reset_metrics() -> None:
 
 
 def write_profile(path: str, extra: Optional[Dict] = None) -> None:
-    """Write the global registry as a ``--profile`` JSON file."""
+    """Write the global registry as a ``--profile`` JSON file.
+
+    The error-taxonomy counters (:data:`ERROR_TAXONOMY`) are always
+    present in the export, zero-filled when nothing failed.
+    """
     payload = {"schema": PROFILE_SCHEMA}
     payload.update(snapshot())
+    counters = payload.setdefault("counters", {})
+    for name in ERROR_TAXONOMY:
+        counters.setdefault(name, 0)
     if extra:
         payload["extra"] = extra
     with open(path, "w", encoding="utf-8") as handle:

@@ -33,6 +33,9 @@ from repro.sim.chunked import (
 from repro.sim.diskcache import (
     ChunkStreamKey,
     StreamKey,
+    cache_enabled,
+    chunk_entry_path,
+    entry_path,
     load_cached_chunk,
     load_cached_streams,
     store_cached_chunk,
@@ -91,6 +94,30 @@ def peek_cached_streams(**request) -> "PredictorStreams | None":
         _memory.move_to_end(key)
         observability.increment("stream_cache.memory_hits")
     return streams
+
+
+def has_disk_entry(chunk_size: Optional[int] = None, **request) -> bool:
+    """Cheap disk-tier existence peek (no load, no checksum verification).
+
+    Lets the parallel runner skip process-pool startup when every missing
+    sweep is already on disk; warm runs then load serially.  With
+    ``chunk_size`` set, the peek checks the per-chunk tier (every chunk
+    must be present).  A True answer may still turn into a recompute if
+    the entry fails verification on the actual load — that path stays
+    correct, just no longer pool-accelerated.
+    """
+    if not cache_enabled():
+        return False
+    if chunk_size is None:
+        return entry_path(stream_key(**request)).exists()
+    length = request.get("length", DEFAULT_TRACE_LENGTH)
+    step = resolve_chunk_size(chunk_size, length)
+    return all(
+        chunk_entry_path(
+            chunk_stream_key(chunk_size=step, chunk_index=index, **request)
+        ).exists()
+        for index in range(num_chunks(length, step))
+    )
 
 
 def seed_memory_tier(streams: PredictorStreams, **request) -> None:

@@ -37,15 +37,17 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro import observability
 from repro.sim.chunked import GshareState, StreamChunk
 from repro.sim.fast import PredictorStreams
+from repro.testing import faults
 
 #: Bump when the on-disk layout or the sweep semantics change; old
 #: entries then simply miss (different digest) instead of being misread.
@@ -61,6 +63,12 @@ _STREAMS_SUBDIR = "predictor_streams"
 _CHUNKS_SUBDIR = "stream_chunks"
 _PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs")
 _CHUNK_PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs", "gcirs")
+
+#: Store attempts retried on OSError before the write is given up.
+STORE_RETRIES = 2
+
+#: Base of the exponential backoff between store attempts (seconds).
+STORE_RETRY_BACKOFF_SECONDS = 0.05
 
 
 @dataclass(frozen=True)
@@ -138,12 +146,33 @@ def _payload_checksum(streams: PredictorStreams) -> str:
     return digest.hexdigest()
 
 
+def _store_with_retry(write: Callable[[], None]) -> bool:
+    """Run ``write`` with bounded retries + exponential backoff on OSError.
+
+    Cache IO faults are frequently transient (full fd table, NFS hiccup,
+    injected test faults), so each store gets :data:`STORE_RETRIES`
+    additional attempts before the write is abandoned; abandonment is
+    safe because the cache is an optimization, never a correctness
+    requirement.
+    """
+    for attempt in range(STORE_RETRIES + 1):
+        try:
+            write()
+            return True
+        except OSError:
+            if attempt >= STORE_RETRIES:
+                return False
+            observability.increment("retries.attempted")
+            time.sleep(STORE_RETRY_BACKOFF_SECONDS * (2 ** attempt))
+    return False
+
+
 def store_cached_streams(key: StreamKey, streams: PredictorStreams) -> Optional[Path]:
     """Persist ``streams`` under ``key``; returns the path, or None when disabled.
 
-    The write is atomic (temporary file + ``os.replace``); failures to
-    write are swallowed after counting, since the cache is an optimization
-    and never a correctness requirement.
+    The write is atomic (temporary file + ``os.replace``) and retried on
+    ``OSError``; persistent failures are swallowed after counting, since
+    the cache is an optimization and never a correctness requirement.
     """
     if not cache_enabled():
         return None
@@ -153,7 +182,9 @@ def store_cached_streams(key: StreamKey, streams: PredictorStreams) -> Optional[
         "trace_name": streams.trace_name,
         "checksum": _payload_checksum(streams),
     }
-    try:
+
+    def _write() -> None:
+        faults.inject_store_oserror(path.name)
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, tmp_name = tempfile.mkstemp(
             prefix=path.stem + ".", suffix=".tmp", dir=str(path.parent)
@@ -167,6 +198,7 @@ def store_cached_streams(key: StreamKey, streams: PredictorStreams) -> Optional[
                     pcs=streams.pcs,
                     meta=np.array(json.dumps(meta, sort_keys=True)),
                 )
+            faults.crash_point("store_streams", path.name)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -174,7 +206,8 @@ def store_cached_streams(key: StreamKey, streams: PredictorStreams) -> Optional[
             except OSError:
                 pass
             raise
-    except OSError:
+
+    if not _store_with_retry(_write):
         observability.increment("stream_cache.store_errors")
         return None
     observability.increment("stream_cache.stores")
@@ -194,6 +227,8 @@ def load_cached_streams(key: StreamKey) -> Optional[PredictorStreams]:
         observability.increment("stream_cache.disk_misses")
         return None
     try:
+        faults.inject_load_oserror(path.name)
+        faults.corrupt_entry(path)
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
             streams = PredictorStreams(
@@ -269,7 +304,9 @@ def store_cached_chunk(
         "position": int(state_after.position),
         "checksum": _chunk_checksum(chunk, state_after),
     }
-    try:
+
+    def _write() -> None:
+        faults.inject_store_oserror(path.name)
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, tmp_name = tempfile.mkstemp(
             prefix=path.stem + ".", suffix=".tmp", dir=str(path.parent)
@@ -285,6 +322,7 @@ def store_cached_chunk(
                     table=state_after.table,
                     meta=np.array(json.dumps(meta, sort_keys=True)),
                 )
+            faults.crash_point("store_chunk", path.name)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -292,7 +330,8 @@ def store_cached_chunk(
             except OSError:
                 pass
             raise
-    except OSError:
+
+    if not _store_with_retry(_write):
         observability.increment("stream_cache.chunk_store_errors")
         return None
     observability.increment("stream_cache.chunk_stores")
@@ -314,6 +353,8 @@ def load_cached_chunk(
         observability.increment("stream_cache.chunk_misses")
         return None
     try:
+        faults.inject_load_oserror(path.name)
+        faults.corrupt_entry(path)
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
             chunk = StreamChunk(
@@ -353,6 +394,9 @@ class DiskCacheStats:
     enabled: bool
     entries: int
     total_bytes: int
+    #: Leftover ``.tmp`` files from crashed/interrupted writers; invisible
+    #: to lookups (never published) but reclaimed by ``repro cache clear``.
+    stale_tmp: int = 0
 
     def format(self) -> str:
         size_mib = self.total_bytes / (1024 * 1024)
@@ -362,28 +406,41 @@ class DiskCacheStats:
                 f"enabled: {'yes' if self.enabled else 'no'}",
                 f"entries: {self.entries}",
                 f"size:    {size_mib:.2f} MiB",
+                f"stale_tmp: {self.stale_tmp}",
             ]
         )
 
 
 def disk_cache_stats() -> DiskCacheStats:
-    """Entry count and footprint across both cache tiers (full + chunk)."""
+    """Entry count and footprint across both cache tiers (full + chunk).
+
+    ``.tmp`` leftovers are counted separately (and included in the total
+    footprint), so ``repro cache stats`` reports exactly what ``clear``
+    would reclaim.
+    """
     entries = 0
     total_bytes = 0
+    stale_tmp = 0
     for directory in (stream_cache_dir(), chunk_cache_dir()):
         if not directory.is_dir():
             continue
-        for item in directory.glob("*.npz"):
+        for item in directory.iterdir():
+            if item.suffix not in (".npz", ".tmp"):
+                continue
             try:
                 total_bytes += item.stat().st_size
             except OSError:
                 continue
-            entries += 1
+            if item.suffix == ".npz":
+                entries += 1
+            else:
+                stale_tmp += 1
     return DiskCacheStats(
         path=str(cache_root()),
         enabled=cache_enabled(),
         entries=entries,
         total_bytes=total_bytes,
+        stale_tmp=stale_tmp,
     )
 
 

@@ -1,0 +1,12 @@
+"""Test-support utilities shipped with the library.
+
+Currently one member: :mod:`repro.testing.faults`, the deterministic
+fault-injection harness behind the ``REPRO_FAULT_SPEC`` environment
+variable.  It lives in the installed package (not under ``tests/``)
+because the production cache and runner modules call its hooks — the
+hooks are no-ops unless a spec is active.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

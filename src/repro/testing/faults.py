@@ -1,0 +1,225 @@
+"""Deterministic fault injection for the execution layer.
+
+The fault-tolerant runner (:mod:`repro.utils.resilient`) and the disk
+cache (:mod:`repro.sim.diskcache`) expose hooks that this module turns
+into actual failures when the ``REPRO_FAULT_SPEC`` environment variable
+is set, e.g.::
+
+    REPRO_FAULT_SPEC="seed=7,worker_crash=0.2,store_oserror=0.5,slow_task=1.0,slow_seconds=0.5"
+
+Supported fault kinds (rates in ``[0, 1]``):
+
+==================  ========================================================
+``worker_crash``    hard-exit a pool worker at task entry (``os._exit``),
+                    breaking the process pool
+``slow_task``       sleep ``slow_seconds`` at task entry (exercises the
+                    per-task timeout)
+``store_oserror``   raise ``OSError`` inside a cache store attempt
+``load_oserror``    raise ``OSError`` inside a cache load attempt
+``corrupt_entry``   flip a byte of the on-disk entry before it is read
+``store_crash``     hard-exit mid-store, after the temp file is written
+                    but before the atomic publish (crash consistency)
+==================  ========================================================
+
+Parameters: ``seed`` (int, default 0) keys every decision;
+``slow_seconds`` (float, default 0.25) is the injected task delay.
+
+Decisions are **deterministic**: each one is a pure hash of
+``(seed, kind, site key, draw index)`` — no wall clock, no PRNG state.
+Task-entry faults (``worker_crash``/``slow_task``/``store_crash``) use a
+*stable* draw (index 0) keyed by the task or entry, so a task that
+crashes also crashes on retry; recovery must come from pool rebuilds or
+the serial fallback, never from a lucky re-roll.  Cache-IO faults advance
+a per-site draw index instead, modelling transient errors a retry can
+clear.
+
+The invariant the test suite pins: under any spec, run results are
+byte-identical to a fault-free serial run — only the observability
+counters (``faults.injected``, ``retries.attempted``, ...) differ.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro import observability
+
+#: Environment variable holding the active fault spec ("" = no faults).
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+#: Exit status of a worker killed by an injected ``worker_crash``.
+WORKER_CRASH_EXIT_CODE = 23
+
+#: Exit status of a process killed by an injected ``store_crash``.
+STORE_CRASH_EXIT_CODE = 24
+
+#: Every kind accepted as a ``kind=rate`` entry in the spec.
+FAULT_KINDS = (
+    "worker_crash",
+    "slow_task",
+    "store_oserror",
+    "load_oserror",
+    "corrupt_entry",
+    "store_crash",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed ``REPRO_FAULT_SPEC`` value."""
+
+    rates: Dict[str, float] = field(default_factory=dict)
+    seed: int = 0
+    slow_seconds: float = 0.25
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Parse a spec string; raises ``ValueError`` on malformed input."""
+    rates: Dict[str, float] = {}
+    seed = 0
+    slow_seconds = 0.25
+    for raw in re.split(r"[,;]", text):
+        part = raw.strip()
+        if not part:
+            continue
+        key, separator, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not separator or not value:
+            raise ValueError(
+                f"malformed fault spec entry {part!r} (expected key=value)"
+            )
+        if key == "seed":
+            seed = int(value)
+        elif key == "slow_seconds":
+            slow_seconds = float(value)
+            if slow_seconds < 0.0:
+                raise ValueError(f"slow_seconds must be >= 0, got {value}")
+        elif key in FAULT_KINDS:
+            rate = float(value)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {key}={value} outside [0, 1]")
+            rates[key] = rate
+        else:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {key!r}; known kinds: {known}")
+    return FaultSpec(rates=rates, seed=seed, slow_seconds=slow_seconds)
+
+
+_cached_spec: "Optional[Tuple[str, FaultSpec]]" = None
+_draw_counts: Dict[Tuple[str, str], int] = {}
+
+
+def current_spec() -> Optional[FaultSpec]:
+    """The active spec from the environment, or None when faults are off."""
+    global _cached_spec
+    text = os.environ.get(FAULT_SPEC_ENV, "").strip()
+    if not text:
+        return None
+    if _cached_spec is not None and _cached_spec[0] == text:
+        return _cached_spec[1]
+    spec = parse_fault_spec(text)
+    _cached_spec = (text, spec)
+    return spec
+
+
+def reset_fault_state() -> None:
+    """Drop the draw counters and the parsed-spec cache (tests)."""
+    global _cached_spec
+    _cached_spec = None
+    _draw_counts.clear()
+
+
+def _decide(spec: FaultSpec, kind: str, key: str, index: int) -> bool:
+    """Pure decision: hash of (seed, kind, key, index) against the rate."""
+    material = f"{spec.seed}|{kind}|{key}|{index}".encode("utf-8")
+    digest = hashlib.sha256(material).digest()
+    draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return draw < spec.rates[kind]
+
+
+def should_inject(kind: str, key: str = "", stable: bool = False) -> bool:
+    """Decide (and count) whether fault ``kind`` fires at site ``key``.
+
+    ``stable`` pins the draw index to 0, so repeated asks at the same
+    site always agree; otherwise each ask advances a per-site index.
+    """
+    spec = current_spec()
+    if spec is None or spec.rates.get(kind, 0.0) <= 0.0:
+        return False
+    if stable:
+        index = 0
+    else:
+        index = _draw_counts.get((kind, key), 0)
+        _draw_counts[(kind, key)] = index + 1
+    if not _decide(spec, kind, key, index):
+        return False
+    observability.increment("faults.injected")
+    observability.increment(f"faults.{kind}")
+    return True
+
+
+def inject_worker_faults(task_key: str) -> None:
+    """Task-entry hook for pool workers: crash or stall, per the spec.
+
+    Stable per ``task_key``: a crashing task crashes on every retry, so
+    the runner's pool-rebuild/serial-fallback machinery — not chance —
+    must produce the result.
+    """
+    spec = current_spec()
+    if spec is None:
+        return
+    if should_inject("worker_crash", task_key, stable=True):
+        os._exit(WORKER_CRASH_EXIT_CODE)
+    if should_inject("slow_task", task_key, stable=True):
+        time.sleep(spec.slow_seconds)
+
+
+def inject_store_oserror(key: str = "") -> None:
+    """Raise ``OSError`` inside a cache store when the spec says so."""
+    if should_inject("store_oserror", key):
+        raise OSError(f"injected store fault at {key!r}")
+
+
+def inject_load_oserror(key: str = "") -> None:
+    """Raise ``OSError`` inside a cache load when the spec says so."""
+    if should_inject("load_oserror", key):
+        raise OSError(f"injected load fault at {key!r}")
+
+
+def corrupt_entry(path: Path) -> bool:
+    """Flip one byte of ``path`` when a ``corrupt_entry`` fault fires.
+
+    Returns True when the file was actually damaged; the loader's
+    checksum verification must then drop the entry and recompute.
+    """
+    if not should_inject("corrupt_entry", path.name):
+        return False
+    try:
+        data = bytearray(path.read_bytes())
+    except OSError:
+        return False
+    if not data:
+        return False
+    data[len(data) // 2] ^= 0xFF
+    try:
+        path.write_bytes(bytes(data))
+    except OSError:
+        return False
+    return True
+
+
+def crash_point(site: str, key: str = "") -> None:
+    """Hard-exit at a named crash point (``store_crash`` faults).
+
+    Placed between writing a cache temp file and its atomic publish, this
+    simulates a writer dying mid-store: the temp file survives, the
+    visible entry must not.
+    """
+    if should_inject("store_crash", f"{site}:{key}", stable=True):
+        os._exit(STORE_CRASH_EXIT_CODE)

@@ -1,0 +1,137 @@
+"""Fault-tolerant process-pool mapping.
+
+:func:`resilient_map` is the execution layer under every parallel
+fan-out in the repo (predictor sweeps in
+:mod:`repro.experiments.runner`, whole experiments in
+:mod:`repro.experiments.registry`).  It preserves the deterministic
+contract of the plain ``pool.map`` it replaces — results come back in
+payload order, byte-identical to a serial run — while surviving the
+failure modes a long multi-benchmark run actually hits:
+
+* a **crashed worker** (``BrokenProcessPool``) rebuilds the pool and
+  re-runs only the tasks that did not finish; repeated pool loss
+  degrades to computing the remainder serially in the parent;
+* a **slow or hung task** is bounded by ``task_timeout`` seconds and
+  retried; on retry exhaustion it, too, falls back to the serial path
+  (which always completes deterministically);
+* a **failing task** (exception raised in the worker) is retried with
+  exponential backoff up to ``max_retries`` times, after which the
+  original error is re-raised — deterministic errors abort instead of
+  looping forever.
+
+Every decision is counted through :mod:`repro.observability`
+(``pool.started``, ``pool.broken``, ``tasks.timed_out``,
+``retries.attempted``, ``degraded.serial_fallback``), so a ``--profile``
+export shows exactly how a degraded run got its results.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro import observability
+
+#: Base of the exponential retry backoff (seconds).
+RETRY_BACKOFF_SECONDS = 0.05
+
+#: Longest single backoff sleep (seconds).
+MAX_BACKOFF_SECONDS = 2.0
+
+#: Pool rebuilds tolerated before degrading the remainder to serial.
+MAX_POOL_REBUILDS = 2
+
+
+def resilient_map(
+    worker: Callable,
+    payloads: Sequence,
+    *,
+    jobs: int,
+    serial_worker: Callable,
+    max_retries: int = 2,
+    task_timeout: Optional[float] = None,
+) -> List[Any]:
+    """Map ``worker`` over ``payloads`` on a process pool, tolerating faults.
+
+    ``worker`` is a picklable module-level function returning a
+    ``(result, metrics_snapshot)`` pair; snapshots of successful tasks
+    are merged into the parent registry exactly once.  ``serial_worker``
+    computes the same result in the parent process (no pool, no metrics
+    pair) and is the degraded path of last resort, so the returned list
+    always matches a serial run in content and order.
+    """
+    results: List[Any] = [None] * len(payloads)
+    done: List[bool] = [False] * len(payloads)
+    attempts: Dict[int, int] = {}
+    errors: Dict[int, BaseException] = {}
+    last_failure: Dict[int, str] = {}
+    pending = list(range(len(payloads)))
+    pool_breaks = 0
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeout
+    from concurrent.futures.process import BrokenProcessPool
+
+    while pending:
+        if pool_breaks > MAX_POOL_REBUILDS:
+            # The pool keeps dying; compute the remainder in-process.
+            observability.increment("degraded.serial_fallback", len(pending))
+            for index in pending:
+                results[index] = serial_worker(payloads[index])
+                done[index] = True
+            break
+        broken = False
+        retry: List[int] = []
+        observability.increment("pool.started")
+        pool = ProcessPoolExecutor(max_workers=max(1, min(jobs, len(pending))))
+        try:
+            futures = [(index, pool.submit(worker, payloads[index])) for index in pending]
+            for index, future in futures:
+                try:
+                    result, metrics = future.result(timeout=task_timeout)
+                except FuturesTimeout:
+                    observability.increment("tasks.timed_out")
+                    future.cancel()
+                    retry.append(index)
+                    last_failure[index] = "timeout"
+                except BrokenProcessPool:
+                    # The pool is gone, but futures that completed before
+                    # the break still hold results — keep draining.
+                    if not broken:
+                        observability.increment("pool.broken")
+                        broken = True
+                except Exception as error:  # noqa: BLE001 - retried, then re-raised
+                    retry.append(index)
+                    errors[index] = error
+                    last_failure[index] = "error"
+                else:
+                    observability.merge_snapshot(metrics)
+                    results[index] = result
+                    done[index] = True
+        finally:
+            # Never block on stragglers (e.g. a task that timed out but is
+            # still running); abandoned workers finish or die on their own.
+            pool.shutdown(wait=False, cancel_futures=True)
+        if broken:
+            pool_breaks += 1
+            pending = [index for index in pending if not done[index]]
+            continue
+        next_pending: List[int] = []
+        for index in retry:
+            attempts[index] = attempts.get(index, 0) + 1
+            if attempts[index] <= max_retries:
+                observability.increment("retries.attempted")
+                next_pending.append(index)
+            elif last_failure[index] == "timeout":
+                # Slow is not wrong: the serial path has no deadline.
+                observability.increment("degraded.serial_fallback")
+                results[index] = serial_worker(payloads[index])
+                done[index] = True
+            else:
+                raise errors[index]
+        pending = next_pending
+        if pending:
+            worst = max(attempts[index] for index in pending)
+            delay = RETRY_BACKOFF_SECONDS * (2 ** (worst - 1))
+            time.sleep(min(delay, MAX_BACKOFF_SECONDS))
+    return results

@@ -24,6 +24,9 @@ def _isolated_stream_cache(tmp_path_factory):
     """
     if "REPRO_CACHE_DIR" not in os.environ:
         os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("stream-cache"))
+    # An ambient fault spec would make every test nondeterministically
+    # exercise the fault paths; fault tests opt in via monkeypatch.
+    os.environ.pop("REPRO_FAULT_SPEC", None)
     yield
 
 

@@ -56,6 +56,54 @@ class TestParallelSuiteStreams:
             CONFIG.benchmarks
         )
 
+    def test_jobs_compose_with_chunk_size(self, cache_dir):
+        """Regression: jobs > 1 used to silently drop config.chunk_size.
+
+        Workers must sweep through the per-chunk cache tier (bounded
+        memory, resumable entries) and still return streams byte-identical
+        to a serial monolithic run.
+        """
+        serial = suite_streams(CONFIG)
+        clear_stream_cache()
+        observability.reset_metrics()
+        parallel = suite_streams(CONFIG.scaled(jobs=2, chunk_size=1024))
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert np.array_equal(serial[name].correct, parallel[name].correct)
+            assert np.array_equal(serial[name].bhrs, parallel[name].bhrs)
+            assert np.array_equal(serial[name].pcs, parallel[name].pcs)
+        assert observability.counter_value("stream_cache.chunk_sweeps") > 0
+        assert observability.counter_value("stream_cache.sweeps") == 0
+
+    def test_warm_disk_runs_stay_serial(self, cache_dir):
+        """A warm disk tier must not pay process-pool startup cost."""
+        suite_streams(CONFIG)
+        clear_stream_cache()
+        observability.reset_metrics()
+        warm = suite_streams(CONFIG.scaled(jobs=2))
+        assert list(warm) == list(CONFIG.benchmarks)
+        assert observability.counter_value("pool.started") == 0
+        assert observability.counter_value("stream_cache.disk_hits") == len(
+            CONFIG.benchmarks
+        )
+        assert observability.counter_value("stream_cache.sweeps") == 0
+
+    def test_warm_chunk_tier_stays_serial(self, cache_dir):
+        chunked = CONFIG.scaled(chunk_size=1024)
+        suite_streams(chunked)
+        clear_stream_cache()
+        observability.reset_metrics()
+        warm = suite_streams(chunked.scaled(jobs=2))
+        assert list(warm) == list(CONFIG.benchmarks)
+        assert observability.counter_value("pool.started") == 0
+        assert observability.counter_value("stream_cache.chunk_hits") > 0
+        assert observability.counter_value("stream_cache.chunk_sweeps") == 0
+
+    def test_cold_chunk_tier_uses_pool(self, cache_dir):
+        observability.reset_metrics()
+        suite_streams(CONFIG.scaled(jobs=2, chunk_size=1024))
+        assert observability.counter_value("pool.started") == 1
+
 
 class TestRunAllReports:
     IDS = ["fig5", "table1"]

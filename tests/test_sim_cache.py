@@ -3,6 +3,12 @@
 import numpy as np
 
 from repro.sim import cached_predictor_streams, clear_stream_cache, predictor_streams
+from repro.sim.diskcache import (
+    chunk_cache_dir,
+    clear_disk_cache,
+    disk_cache_stats,
+    stream_cache_dir,
+)
 from repro.workloads import load_benchmark
 
 
@@ -38,3 +44,31 @@ class TestCache:
         b = cached_predictor_streams("jpeg_play", length=2000, seed=0)
         assert a is not b
         assert np.array_equal(a.correct, b.correct)
+
+
+class TestStaleTmpAccounting:
+    """`cache stats` must see the same stray .tmp files `clear` deletes."""
+
+    def test_stats_count_stale_tmp_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+        stream_cache_dir().mkdir(parents=True)
+        chunk_cache_dir().mkdir(parents=True)
+        (stream_cache_dir() / "crashed-writer.0001.tmp").write_bytes(b"partial")
+        (chunk_cache_dir() / "crashed-writer.0002.tmp").write_bytes(b"partial")
+        (stream_cache_dir() / "unrelated.log").write_bytes(b"ignored")
+        stats = disk_cache_stats()
+        assert stats.entries == 0
+        assert stats.stale_tmp == 2
+        assert stats.total_bytes == 2 * len(b"partial")
+        assert "stale_tmp: 2" in stats.format()
+
+    def test_clear_removes_what_stats_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_CACHE_DISABLE", raising=False)
+        stream_cache_dir().mkdir(parents=True)
+        (stream_cache_dir() / "crashed-writer.0001.tmp").write_bytes(b"partial")
+        assert disk_cache_stats().stale_tmp == 1
+        clear_disk_cache()
+        assert disk_cache_stats().stale_tmp == 0
+        assert not list(stream_cache_dir().glob("*.tmp"))
