@@ -1,0 +1,91 @@
+"""Timing gate for the reprolint static-analysis pass.
+
+Runs the full reprolint rule registry over ``src/repro`` — exactly what
+CI's lint job and ``repro lint`` execute — and FAILS if either:
+
+* the pass reports findings (the tree must stay lint-clean), or
+* the wall time exceeds the 10-second budget.
+
+The budget exists so the lint job stays cheap enough to gate the test
+matrix: reprolint is a single-process stdlib ``ast`` walk, and a pass
+over the ~100-file tree should be a fraction of a second.  Blowing the
+budget means a rule has gone super-linear (e.g. re-parsing files per
+rule) and should be treated as a regression, not a flaky machine.
+
+Usage (exits non-zero on gate failure)::
+
+    PYTHONPATH=src python benchmarks/lint_gate.py [--out BENCH_lint.json]
+
+Writes a ``BENCH_lint.json`` report with the measured numbers either
+way, in the same spirit as the other ``BENCH_*.json`` gate reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+
+#: Wall-time budget for one full lint pass over the tree.
+WALL_LIMIT_SECONDS = 10.0
+
+#: Lint target: the installed package source, resolved relative to this
+#: file so the gate works from any working directory.
+LINT_TARGET = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def run_gate(out_path: str) -> int:
+    # Wall-time accounting only; never feeds the report's statistics.
+    started = time.perf_counter()  # reprolint: disable=R001
+    result = run_lint([LINT_TARGET])
+    wall_seconds = time.perf_counter() - started  # reprolint: disable=R001
+
+    clean = not result.findings
+    fast = wall_seconds <= WALL_LIMIT_SECONDS
+    passed = clean and fast
+
+    report = {
+        "schema": "repro-bench-lint/1",
+        "created_unix": time.time(),  # reprolint: disable=R001
+        "target": str(LINT_TARGET),
+        "files_checked": result.files_checked,
+        "rules_run": result.rules_run,
+        "findings": len(result.findings),
+        "suppressed": result.suppressed,
+        "wall_limit_seconds": WALL_LIMIT_SECONDS,
+        "wall_seconds": wall_seconds,
+        "clean": clean,
+        "passed": passed,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"lint gate: {result.files_checked} file(s), {len(result.rules_run)} rule(s), "
+        f"{len(result.findings)} finding(s), {result.suppressed} suppressed in "
+        f"{wall_seconds:.2f}s (limit {WALL_LIMIT_SECONDS:.0f}s) -> "
+        f"{'PASS' if passed else 'FAIL'}"
+    )
+    if not clean:
+        for finding in result.findings:
+            print(f"  {finding.render()}")
+    return 0 if passed else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_lint.json",
+        help="report path (default: BENCH_lint.json)",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,13 +10,13 @@ and renders ASCII plots / CSV exports.
 """
 
 from repro.analysis.buckets import BucketStatistics
-from repro.analysis.curves import ConfidenceCurve, CurvePoint
-from repro.analysis.weighting import concat_normalized, equal_weight_combine
-from repro.analysis.table1 import Table1, Table1Row, build_table1
 from repro.analysis.compare import CurveDelta, crossovers, dominates, sample_delta
+from repro.analysis.curves import ConfidenceCurve, CurvePoint
+from repro.analysis.export import curves_to_csv, table_to_csv
 from repro.analysis.metrics import ConfusionCounts, confidence_metrics
 from repro.analysis.plotting import ascii_curve_plot, format_curve_table
-from repro.analysis.export import curves_to_csv, table_to_csv
+from repro.analysis.table1 import Table1, Table1Row, build_table1
+from repro.analysis.weighting import concat_normalized, equal_weight_combine
 
 __all__ = [
     "BucketStatistics",

@@ -1,0 +1,14 @@
+"""``python -m repro.analysis`` — run the ``reprolint`` checker.
+
+Identical to ``repro lint``; exists so the linter is reachable without
+installing the console script (CI images, fresh checkouts).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

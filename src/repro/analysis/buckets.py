@@ -63,7 +63,10 @@ class BucketStatistics:
 
     @classmethod
     def zeros(cls, num_buckets: int) -> "BucketStatistics":
-        return cls(np.zeros(num_buckets), np.zeros(num_buckets))
+        return cls(
+            np.zeros(num_buckets, dtype=np.float64),
+            np.zeros(num_buckets, dtype=np.float64),
+        )
 
     # ----- aggregates -------------------------------------------------------
 

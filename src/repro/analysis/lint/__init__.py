@@ -1,0 +1,14 @@
+"""``reprolint`` — project-specific AST lint engine.
+
+Public surface: :func:`repro.analysis.lint.engine.run_lint` for
+programmatic use, :func:`repro.analysis.lint.cli.main` for the CLI, and
+the rule registry in :mod:`repro.analysis.lint.rules`.  See DESIGN.md
+§"Static analysis & invariants" for what each rule guards.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lint.engine import LintResult, run_lint
+from repro.analysis.lint.model import Finding
+
+__all__ = ["Finding", "LintResult", "run_lint"]

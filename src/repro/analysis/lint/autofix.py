@@ -1,0 +1,192 @@
+"""``repro lint --fix``: autofixes for the mechanical rule subset.
+
+Only transformations that are semantics-preserving-by-construction are
+automated:
+
+* **R001 set-order iteration** — wrap the iterated set expression in
+  ``sorted(...)``; the loop sees the same elements in a deterministic
+  order.
+* **R006 missing ``__all__`` entries** — when another file imports a
+  *public* name the ``api.py`` facade defines but forgot to export,
+  append it to ``__all__``.  Private names (``_foo``) are never
+  auto-exported: reaching for one is a design error the author must
+  resolve by hand.
+
+Fixes are applied as textual splices at AST-reported offsets (never a
+reformat of the whole file), bottom-up so earlier edits cannot shift
+later offsets.  Both transforms are idempotent: ``sorted({...})`` no
+longer matches the set-iteration pattern, and an exported name is no
+longer missing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.lint.model import ParsedFile, Project
+from repro.analysis.lint.rules.api_stability import (
+    _find_api_module,
+    _is_api_module_path,
+    _module_bindings,
+)
+from repro.analysis.lint.rules.determinism import (
+    _is_set_expression,
+    _iteration_sites,
+)
+
+
+@dataclass(frozen=True)
+class FixEdit:
+    """One applied autofix, for reporting."""
+
+    path: str
+    line: int
+    description: str
+
+
+def _line_offsets(source: str) -> List[int]:
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _absolute(offsets: List[int], line: int, col: int) -> int:
+    return offsets[line - 1] + col
+
+
+def _node_span(
+    source: str, offsets: List[int], node: ast.expr
+) -> Optional[Tuple[int, int]]:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return (
+        _absolute(offsets, node.lineno, node.col_offset),
+        _absolute(offsets, end_line, end_col),
+    )
+
+
+def _fix_set_iteration(parsed: ParsedFile) -> Tuple[Optional[str], List[FixEdit]]:
+    """Wrap every directly-iterated set expression in ``sorted(...)``."""
+    spans: List[Tuple[int, int, int]] = []
+    offsets = _line_offsets(parsed.source)
+    for _, iterable in _iteration_sites(parsed.tree):
+        if not _is_set_expression(iterable):
+            continue
+        span = _node_span(parsed.source, offsets, iterable)
+        if span is not None:
+            spans.append((span[0], span[1], iterable.lineno))
+    if not spans:
+        return None, []
+    edits: List[FixEdit] = []
+    text = parsed.source
+    for start, end, line in sorted(spans, reverse=True):
+        text = text[:start] + "sorted(" + text[start:end] + ")" + text[end:]
+        edits.append(
+            FixEdit(
+                path=parsed.display,
+                line=line,
+                description="wrapped set iteration in sorted(...)",
+            )
+        )
+    return text, list(reversed(edits))
+
+
+def _importable_missing_exports(project: Project) -> Tuple[Optional[ParsedFile], Set[str]]:
+    """Public api.py names that importers use but ``__all__`` omits."""
+    located = _find_api_module(project)
+    if located is None:
+        return None, set()
+    api_file, exports, _ = located
+    bound = _module_bindings(api_file.tree)
+    wanted: Set[str] = set()
+    for parsed in project.iter_files():
+        if parsed.path == api_file.path:
+            continue
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level != 0:
+                continue
+            if not _is_api_module_path(node.module):
+                continue
+            for alias in node.names:
+                name = alias.name
+                if (
+                    name != "*"
+                    and name not in exports
+                    and name in bound
+                    and not name.startswith("_")
+                ):
+                    wanted.add(name)
+    return api_file, wanted
+
+
+def _fix_missing_exports(
+    api_file: ParsedFile, names: Set[str]
+) -> Tuple[Optional[str], List[FixEdit]]:
+    located_node: Optional[ast.Assign] = None
+    for node in api_file.tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            located_node = node
+            break
+    if located_node is None or not isinstance(
+        located_node.value, (ast.List, ast.Tuple)
+    ):
+        return None, []
+    elements = located_node.value.elts
+    if not elements:
+        return None, []
+    offsets = _line_offsets(api_file.source)
+    last = elements[-1]
+    span = _node_span(api_file.source, offsets, last)
+    if span is None:
+        return None, []
+    insertion = "".join(f', "{name}"' for name in sorted(names))
+    text = (
+        api_file.source[: span[1]] + insertion + api_file.source[span[1] :]
+    )
+    edits = [
+        FixEdit(
+            path=api_file.display,
+            line=located_node.lineno,
+            description=f'added "{name}" to __all__',
+        )
+        for name in sorted(names)
+    ]
+    return text, edits
+
+
+def apply_fixes(paths: Sequence[Path], *, write: bool = True) -> List[FixEdit]:
+    """Apply the mechanical autofixes under ``paths``; returns the edits.
+
+    With ``write=False`` this is a dry run: edits are computed and
+    reported but no file changes.
+    """
+    project = Project.load(paths)
+    new_sources: Dict[Path, str] = {}
+    all_edits: List[FixEdit] = []
+
+    for parsed in project.iter_files():
+        text, edits = _fix_set_iteration(parsed)
+        if text is not None:
+            new_sources[parsed.path] = text
+            all_edits.extend(edits)
+
+    api_file, missing = _importable_missing_exports(project)
+    if api_file is not None and missing and api_file.path not in new_sources:
+        text, edits = _fix_missing_exports(api_file, missing)
+        if text is not None:
+            new_sources[api_file.path] = text
+            all_edits.extend(edits)
+
+    if write:
+        for path, text in sorted(new_sources.items()):
+            path.write_text(text, encoding="utf-8")
+    return all_edits

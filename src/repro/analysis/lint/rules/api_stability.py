@@ -1,0 +1,115 @@
+"""R006 — API-facade stability.
+
+``repro.api`` is the compatibility surface: internal modules may
+reorganize, the facade may not.  That promise only holds if (a) nothing
+inside the repo imports facade-private helpers — those imports would
+freeze internals into the contract — and (b) every name ``__all__``
+declares actually exists, so the documented surface never silently
+shrinks.  The rule locates the ``api.py`` module defining ``__all__``
+and checks both directions against the whole scanned tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.lint.model import Finding, ParsedFile, Project
+from repro.analysis.lint.rules._common import string_constant
+
+RULE_ID = "R006"
+SEVERITY = "error"
+SUMMARY = "API-facade stability: only __all__ names of repro.api may be imported"
+
+
+def _find_api_module(
+    project: Project,
+) -> Optional[Tuple[ParsedFile, Set[str], ast.AST]]:
+    """The ``api.py`` file declaring ``__all__``, its exports, and the node."""
+    for parsed in project.iter_files():
+        if parsed.path.name != "api.py":
+            continue
+        for node in parsed.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == "__all__"
+                for target in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                exports: Set[str] = set()
+                for element in node.value.elts:
+                    text = string_constant(element)
+                    if text is not None:
+                        exports.add(text)
+                return parsed, exports, node
+    return None
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    bound: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for name in node.names:
+                bound.add(name.asname or name.name.split(".", 1)[0])
+    return bound
+
+
+def _is_api_module_path(module: Optional[str]) -> bool:
+    """True for ``repro.api`` (and fixture stand-ins named ``api``)."""
+    if module is None:
+        return False
+    return module == "api" or module.endswith(".api")
+
+
+def check(project: Project) -> List[Finding]:
+    located = _find_api_module(project)
+    if located is None:
+        return []
+    api_file, exports, all_node = located
+    findings: List[Finding] = []
+
+    bound = _module_bindings(api_file.tree)
+    for name in sorted(exports):
+        if name not in bound:
+            findings.append(
+                api_file.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    all_node,
+                    f"__all__ exports '{name}' but {api_file.display} never "
+                    "defines it; the declared facade surface must exist",
+                )
+            )
+
+    for parsed in project.iter_files():
+        if parsed.path == api_file.path:
+            continue
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ImportFrom) or node.level != 0:
+                continue
+            if not _is_api_module_path(node.module):
+                continue
+            for alias in node.names:
+                if alias.name == "*" or alias.name in exports:
+                    continue
+                findings.append(
+                    parsed.finding(
+                        RULE_ID,
+                        SEVERITY,
+                        node,
+                        f"`from {node.module} import {alias.name}` reaches a "
+                        "facade-private name; only __all__ symbols "
+                        f"({', '.join(sorted(exports))}) are stable",
+                    )
+                )
+    return findings

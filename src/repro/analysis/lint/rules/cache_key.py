@@ -1,0 +1,178 @@
+"""R002 — cache-key completeness.
+
+The persistent stream cache replays sweeps by content key: every
+``ExperimentConfig`` knob that changes what a sweep computes must flow
+into the ``StreamKey``/``ChunkStreamKey`` hash, or a config change will
+silently replay stale cached results (the same bug class as the fixed
+``_maybe_gcirs`` name-sniffing).
+
+The rule cross-checks three declarations that live in different files:
+
+* every field of the ``ExperimentConfig`` dataclass must either be read
+  off the config object inside ``_stream_request`` (the single funnel
+  that turns a config into cache-key kwargs) or carry a
+  ``# reprolint: cache-exempt`` marker asserting it cannot affect the
+  cached sweep (post-sweep analysis knobs, execution knobs);
+* every field of the ``StreamKey`` dataclass must appear as a key in the
+  request dictionary ``_stream_request`` builds — a key field nothing
+  populates would hash a default forever;
+* ``ChunkStreamKey`` must subclass ``StreamKey`` so the chunk tier
+  inherits the full key.
+
+All three anchors are found by name project-wide, so the rule works on
+fixture trees as well as on ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.lint.model import CACHE_EXEMPT_RE, Finding, ParsedFile, Project
+from repro.analysis.lint.rules._common import string_constant
+
+RULE_ID = "R002"
+SEVERITY = "error"
+SUMMARY = "cache-key completeness: ExperimentConfig fields vs StreamKey/ChunkStreamKey hashing"
+
+_REQUEST_FUNCTION = "_stream_request"
+_CONFIG_CLASS = "ExperimentConfig"
+_KEY_CLASS = "StreamKey"
+_CHUNK_KEY_CLASS = "ChunkStreamKey"
+
+
+def _find_class(
+    project: Project, name: str
+) -> List[Tuple[ParsedFile, ast.ClassDef]]:
+    found: List[Tuple[ParsedFile, ast.ClassDef]] = []
+    for parsed in project.iter_files():
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                found.append((parsed, node))
+    return found
+
+
+def _find_function(
+    project: Project, name: str
+) -> Optional[Tuple[ParsedFile, ast.FunctionDef]]:
+    for parsed in project.iter_files():
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.FunctionDef) and node.name == name:
+                return parsed, node
+    return None
+
+
+def _dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
+    fields: List[Tuple[str, ast.AnnAssign]] = []
+    for statement in node.body:
+        if isinstance(statement, ast.AnnAssign) and isinstance(
+            statement.target, ast.Name
+        ):
+            fields.append((statement.target.id, statement))
+    return fields
+
+
+def _is_exempt(parsed: ParsedFile, field: ast.AnnAssign) -> bool:
+    """True when a ``cache-exempt`` marker sits on the field's line(s)."""
+    lines = parsed.lines
+    start = field.lineno
+    end = getattr(field, "end_lineno", None) or start
+    for number in range(start, end + 1):
+        if number - 1 < len(lines) and CACHE_EXEMPT_RE.search(lines[number - 1]):
+            return True
+    return False
+
+
+def _attribute_reads(function: ast.FunctionDef, owner: str) -> Set[str]:
+    reads: Set[str] = set()
+    for node in ast.walk(function):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == owner
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+def _request_dict_keys(function: ast.FunctionDef) -> Set[str]:
+    keys: Set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                text = string_constant(key) if key is not None else None
+                if text is not None:
+                    keys.add(text)
+    return keys
+
+
+def _config_param(function: ast.FunctionDef) -> Optional[str]:
+    args = function.args
+    ordered = list(args.posonlyargs) + list(args.args)
+    if ordered:
+        return ordered[0].arg
+    return None
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    request = _find_function(project, _REQUEST_FUNCTION)
+    config_classes = _find_class(project, _CONFIG_CLASS)
+
+    if request is not None and config_classes:
+        _, request_def = request
+        param = _config_param(request_def)
+        reads = _attribute_reads(request_def, param) if param else set()
+        for parsed, class_def in config_classes:
+            for name, field in _dataclass_fields(class_def):
+                if name in reads or _is_exempt(parsed, field):
+                    continue
+                findings.append(
+                    parsed.finding(
+                        RULE_ID,
+                        SEVERITY,
+                        field,
+                        f"{_CONFIG_CLASS}.{name} is never hashed into the stream "
+                        f"cache key ({_REQUEST_FUNCTION} does not read it); extend "
+                        "the key, or mark the field `# reprolint: cache-exempt` "
+                        "with a justification if it cannot affect the cached sweep",
+                    )
+                )
+
+    key_classes = _find_class(project, _KEY_CLASS)
+    if request is not None and key_classes:
+        request_file, request_def = request
+        keys = _request_dict_keys(request_def)
+        for parsed, class_def in key_classes:
+            for name, _field in _dataclass_fields(class_def):
+                if name in keys:
+                    continue
+                findings.append(
+                    request_file.finding(
+                        RULE_ID,
+                        SEVERITY,
+                        request_def,
+                        f"{_KEY_CLASS}.{name} is a cache-key field but "
+                        f"{_REQUEST_FUNCTION} never populates it — the default "
+                        "would be hashed for every request",
+                    )
+                )
+
+    for parsed, class_def in _find_class(project, _CHUNK_KEY_CLASS):
+        base_names = {
+            base.id for base in class_def.bases if isinstance(base, ast.Name)
+        }
+        base_names.update(
+            base.attr for base in class_def.bases if isinstance(base, ast.Attribute)
+        )
+        if key_classes and _KEY_CLASS not in base_names:
+            findings.append(
+                parsed.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    class_def,
+                    f"{_CHUNK_KEY_CLASS} must subclass {_KEY_CLASS} so the "
+                    "chunk tier inherits the full sweep key",
+                )
+            )
+    return findings

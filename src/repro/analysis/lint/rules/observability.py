@@ -1,0 +1,96 @@
+"""R005 — observability discipline.
+
+The ``--profile`` export zero-fills every counter named in
+``ERROR_TAXONOMY`` so dashboards and the fault-injection CI gate can key
+on them unconditionally.  A taxonomy entry nothing ever increments is a
+counter that reads zero *by construction* — the gate would silently pass
+on a code path that stopped being counted.  The rule requires every
+declared taxonomy name to have at least one literal
+``increment("<name>")`` site somewhere in the scanned tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from repro.analysis.lint.model import Finding, ParsedFile, Project
+from repro.analysis.lint.rules._common import string_constant
+
+RULE_ID = "R005"
+SEVERITY = "warning"
+SUMMARY = "observability discipline: every ERROR_TAXONOMY counter has an increment site"
+
+_TAXONOMY_NAME = "ERROR_TAXONOMY"
+_INCREMENT_NAMES = frozenset({"increment"})
+
+
+def _taxonomy_entries(
+    project: Project,
+) -> List[Tuple[ParsedFile, ast.Constant]]:
+    """Every string constant inside an ``ERROR_TAXONOMY = (...)`` literal."""
+    entries: List[Tuple[ParsedFile, ast.Constant]] = []
+    for parsed in project.iter_files():
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(
+                isinstance(target, ast.Name) and target.id == _TAXONOMY_NAME
+                for target in node.targets
+            ):
+                continue
+            if isinstance(node.value, (ast.Tuple, ast.List)):
+                for element in node.value.elts:
+                    if (
+                        isinstance(element, ast.Constant)
+                        and string_constant(element) is not None
+                    ):
+                        entries.append((parsed, element))
+    return entries
+
+
+def _call_simple_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _incremented_counters(project: Project) -> Set[str]:
+    counters: Set[str] = set()
+    for parsed in project.iter_files():
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_simple_name(node) not in _INCREMENT_NAMES:
+                continue
+            if not node.args:
+                continue
+            name = string_constant(node.args[0])
+            if name is not None:
+                counters.add(name)
+    return counters
+
+
+def check(project: Project) -> List[Finding]:
+    entries = _taxonomy_entries(project)
+    if not entries:
+        return []
+    incremented = _incremented_counters(project)
+    findings: List[Finding] = []
+    for parsed, element in entries:
+        name = string_constant(element)
+        if name is None or name in incremented:
+            continue
+        findings.append(
+            parsed.finding(
+                RULE_ID,
+                SEVERITY,
+                element,
+                f"taxonomy counter '{name}' has no increment(...) site in the "
+                "scanned tree; a zero-filled counter nothing increments hides "
+                "the failure mode it was meant to expose",
+            )
+        )
+    return findings

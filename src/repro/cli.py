@@ -15,6 +15,8 @@ Usage examples::
     repro apps dual-path             # run an application model
     repro apps dual-path --json      # ... as a JSON record on stdout
     repro trace gcc --length 50000 --out gcc.npz   # dump a trace
+    repro lint                       # reprolint invariant checker
+    repro lint --format json src     # ... JSON report over another tree
 """
 
 from __future__ import annotations
@@ -140,6 +142,13 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--length", type=int, default=50_000)
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument("--out", required=True, help="output .npz path")
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the reprolint invariant checker (see 'repro lint --help')",
+        add_help=False,
+    )
+    lint_parser.add_argument("rest", nargs=argparse.REMAINDER)
 
     return parser
 
@@ -338,7 +347,14 @@ def _command_trace(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:]) if argv is None else list(argv)
+    if arguments and arguments[0] == "lint":
+        # Forwarded wholesale (argparse.REMAINDER cannot pass through
+        # leading options); the lint CLI owns its own argument parsing.
+        from repro.analysis.lint.cli import main as lint_main
+
+        return lint_main(arguments[1:])
+    args = _build_parser().parse_args(arguments)
     if args.command == "list":
         return _command_list()
     if args.command == "run":

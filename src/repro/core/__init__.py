@@ -24,6 +24,10 @@ Estimators provided:
 
 from repro.core.base import BucketSemantics, ConfidenceEstimator, ConfidenceSignal
 from repro.core.cir import CIR, CIRTable
+from repro.core.counters import (
+    ResettingCounterConfidence,
+    SaturatingCounterConfidence,
+)
 from repro.core.indexing import (
     BHRIndex,
     ConcatIndex,
@@ -45,13 +49,9 @@ from repro.core.one_level import OneLevelConfidence
 from repro.core.reduction import (
     IdentityReduction,
     OnesCountReduction,
-    Reduction,
     ReducedEstimator,
+    Reduction,
     ResettingCountReduction,
-)
-from repro.core.counters import (
-    ResettingCounterConfidence,
-    SaturatingCounterConfidence,
 )
 from repro.core.static_profile import StaticProfileConfidence
 from repro.core.threshold import ThresholdConfidence

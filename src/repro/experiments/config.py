@@ -21,7 +21,8 @@ class ExperimentConfig:
     """Knobs shared by all experiments."""
 
     #: Benchmarks included in the composite (paper: the full IBS suite).
-    benchmarks: Tuple[str, ...] = tuple(benchmark_names())
+    #: Keyed per sweep: each benchmark name goes into its own StreamKey.
+    benchmarks: Tuple[str, ...] = tuple(benchmark_names())  # reprolint: cache-exempt
     #: Dynamic conditional branches simulated per benchmark.
     trace_length: int = DEFAULT_TRACE_LENGTH
     #: Workload generation seed.
@@ -32,27 +33,30 @@ class ExperimentConfig:
     predictor_history_bits: int = 16
     #: Confidence-table index width (table has 2**ct_index_bits entries).
     ct_index_bits: int = 16
-    #: CIR width n.
-    cir_bits: int = 16
+    #: CIR width n.  Consumed by the confidence tables built *from* the
+    #: cached predictor streams, never by the cached sweep itself.
+    cir_bits: int = 16  # reprolint: cache-exempt
     #: Reference x position for headline numbers (the paper quotes 20 %).
-    headline_percent: float = 20.0
+    #: Report formatting only; does not affect any simulated stream.
+    headline_percent: float = 20.0  # reprolint: cache-exempt
     #: Worker processes for sweep/experiment fan-out (1 = fully serial).
     #: Results are merged deterministically, so reports are identical
     #: regardless of the value; workers share the persistent stream cache.
-    jobs: int = 1
+    jobs: int = 1  # reprolint: cache-exempt - execution knob, results merge deterministically
     #: Branches per streaming chunk (None = monolithic).  All table state
     #: carries across chunk boundaries, so every statistic is identical
     #: for any chunk size; the value only bounds peak working-set memory.
     #: Composes with ``jobs``: parallel workers sweep through the
-    #: per-chunk cache tier too.
-    chunk_size: Optional[int] = None
+    #: per-chunk cache tier too.  Keys the chunk *tier* (ChunkStreamKey),
+    #: not the sweep: outputs are identical for any value.
+    chunk_size: Optional[int] = None  # reprolint: cache-exempt
     #: Retries granted to a failing/timed-out parallel worker task before
     #: the runner aborts (deterministic errors) or degrades to the serial
     #: path (timeouts).  Ignored when ``jobs == 1``.
-    max_retries: int = 2
+    max_retries: int = 2  # reprolint: cache-exempt - fault-handling knob, results identical
     #: Seconds to wait for one parallel worker task before it is counted
     #: as timed out and retried (None = wait indefinitely).
-    task_timeout: Optional[float] = None
+    task_timeout: Optional[float] = None  # reprolint: cache-exempt - fault-handling knob
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -23,8 +23,6 @@ from repro.sim.cache import (
     peek_cached_streams,
     seed_memory_tier,
 )
-from repro.testing import faults
-from repro.utils.resilient import resilient_map
 from repro.sim.chunked import (
     CIRTableObserver,
     ResettingCounterObserver,
@@ -39,7 +37,9 @@ from repro.sim.fast import (
     saturating_counter_stream,
     two_level_pattern_stream,
 )
+from repro.testing import faults
 from repro.utils.bits import bit_mask
+from repro.utils.resilient import resilient_map
 
 #: Initial CIR patterns by policy name, resolved per (entries, cir_bits).
 InitSpec = "int | np.ndarray"

@@ -12,6 +12,15 @@ Two engines compute identical statistics:
   exact equivalence with the reference engine.
 """
 
+from repro.sim.cache import cached_predictor_streams, clear_stream_cache
+from repro.sim.diskcache import (
+    StreamKey,
+    clear_disk_cache,
+    disk_cache_stats,
+    load_cached_streams,
+    store_cached_streams,
+    stream_cache_dir,
+)
 from repro.sim.engine import EstimatorRun, SimulationResult, simulate
 from repro.sim.fast import (
     PredictorStreams,
@@ -20,15 +29,6 @@ from repro.sim.fast import (
     resetting_counter_stream,
     saturating_counter_stream,
     two_level_pattern_stream,
-)
-from repro.sim.cache import clear_stream_cache, cached_predictor_streams
-from repro.sim.diskcache import (
-    StreamKey,
-    clear_disk_cache,
-    disk_cache_stats,
-    load_cached_streams,
-    store_cached_streams,
-    stream_cache_dir,
 )
 
 __all__ = [

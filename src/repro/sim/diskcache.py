@@ -163,7 +163,8 @@ def _store_with_retry(write: Callable[[], None]) -> bool:
             if attempt >= STORE_RETRIES:
                 return False
             observability.increment("retries.attempted")
-            time.sleep(STORE_RETRY_BACKOFF_SECONDS * (2 ** attempt))
+            # Retry pacing only; cached bytes are identical either way.
+            time.sleep(STORE_RETRY_BACKOFF_SECONDS * (2 ** attempt))  # reprolint: disable=R001
     return False
 
 

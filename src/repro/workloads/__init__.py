@@ -31,6 +31,12 @@ from repro.workloads.behaviors import (
     PhasedBehavior,
 )
 from repro.workloads.behaviors import TripSource
+from repro.workloads.ibs import (
+    IBS_BENCHMARKS,
+    benchmark_names,
+    load_benchmark,
+    load_suite,
+)
 from repro.workloads.program import (
     Block,
     Emit,
@@ -39,12 +45,6 @@ from repro.workloads.program import (
     Node,
     Site,
     SyntheticProgram,
-)
-from repro.workloads.ibs import (
-    IBS_BENCHMARKS,
-    benchmark_names,
-    load_benchmark,
-    load_suite,
 )
 
 __all__ = [

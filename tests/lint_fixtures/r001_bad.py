@@ -1,0 +1,19 @@
+"""R001 positive fixture: unseeded RNG and set-order iteration."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    generator = np.random.default_rng()  # unseeded: OS entropy
+    return generator.integers(0, 10) + random.randint(0, 10)
+
+
+def fold(values):
+    total = 0
+    for value in {3, 1, 2}:  # hash-order iteration feeds the fold
+        total += value
+    for value in set(values):
+        total += value
+    return total

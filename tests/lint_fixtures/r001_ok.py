@@ -1,0 +1,17 @@
+"""R001 negative fixture: seeded generators, ordered iteration."""
+
+import numpy as np
+
+
+def draw(seed):
+    generator = np.random.default_rng(seed)
+    return generator.integers(0, 10)
+
+
+def fold(values):
+    total = 0
+    for value in sorted({3, 1, 2}):
+        total += value
+    for value in sorted(set(values)):
+        total += value
+    return total

@@ -1,0 +1,15 @@
+"""R002 positive fixture: a config field the cache key never sees.
+
+``speculative_depth`` changes what a sweep would compute, but
+``_stream_request`` (in ``runner.py``) never reads it and it carries no
+``cache-exempt`` marker — the stale-cache bug R002 exists to catch.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    trace_length: int = 1_000
+    seed: int = 0
+    speculative_depth: int = 4

@@ -1,0 +1,24 @@
+"""R002 positive fixture: the request funnel paired with config.py."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    benchmark: str
+    length: int
+    seed: int
+
+
+@dataclass(frozen=True)
+class ChunkStreamKey(StreamKey):
+    chunk_size: int
+    chunk_index: int
+
+
+def _stream_request(config, benchmark):
+    return {
+        "benchmark": benchmark,
+        "length": config.trace_length,
+        "seed": config.seed,
+    }

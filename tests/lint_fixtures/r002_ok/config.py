@@ -1,0 +1,10 @@
+"""R002 negative fixture: every field hashed or explicitly exempt."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    trace_length: int = 1_000
+    seed: int = 0
+    jobs: int = 1  # reprolint: cache-exempt - execution knob only

@@ -1,0 +1,22 @@
+"""R003 positive fixture: unpicklable and impure pool workers."""
+
+_COUNTER = 0
+
+
+def resilient_map(worker, payloads, *, jobs, serial_worker):
+    return [worker(payload) for payload in payloads]
+
+
+def impure_worker(payload):
+    global _COUNTER
+    _COUNTER = _COUNTER + 1  # retried tasks observe divergent state
+    return payload
+
+
+def run(payloads):
+    return resilient_map(
+        lambda payload: payload * 2,  # lambdas cannot cross processes
+        payloads,
+        jobs=2,
+        serial_worker=impure_worker,
+    )

@@ -1,0 +1,10 @@
+"""R005 positive fixture: a taxonomy counter nothing increments."""
+
+ERROR_TAXONOMY = (
+    "faults.injected",
+    "ghost.counter",
+)
+
+
+def record(registry):
+    registry.increment("faults.injected")

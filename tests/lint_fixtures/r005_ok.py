@@ -1,0 +1,11 @@
+"""R005 negative fixture: every taxonomy counter has a site."""
+
+ERROR_TAXONOMY = (
+    "faults.injected",
+    "retries.attempted",
+)
+
+
+def record(registry):
+    registry.increment("faults.injected")
+    registry.increment("retries.attempted")

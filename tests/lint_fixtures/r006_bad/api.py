@@ -1,0 +1,15 @@
+"""R006 positive fixture: a facade with a stale export."""
+
+__all__ = ["run", "missing_export"]
+
+
+def run():
+    return 1
+
+
+def helper():
+    return 2
+
+
+def _internal():
+    return 3

@@ -1,0 +1,7 @@
+"""R006 positive fixture: imports reaching facade-private names."""
+
+from api import _internal, helper
+
+
+def use():
+    return _internal() + helper()

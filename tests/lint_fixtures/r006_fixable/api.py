@@ -1,0 +1,11 @@
+"""Autofix fixture: a public name importers use but ``__all__`` omits."""
+
+__all__ = ["run"]
+
+
+def run():
+    return 1
+
+
+def helper():
+    return 2

@@ -1,0 +1,7 @@
+"""Autofix fixture: the import that should pull ``helper`` into ``__all__``."""
+
+from api import helper, run
+
+
+def use():
+    return run() + helper()

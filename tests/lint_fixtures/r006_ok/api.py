@@ -1,0 +1,11 @@
+"""R006 negative fixture: a facade whose surface matches reality."""
+
+__all__ = ["run"]
+
+
+def run():
+    return 1
+
+
+def _internal():
+    return 3

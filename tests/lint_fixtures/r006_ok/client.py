@@ -1,0 +1,7 @@
+"""R006 negative fixture: only declared facade names are imported."""
+
+from api import run
+
+
+def use():
+    return run()

@@ -1,0 +1,8 @@
+"""R001 positive fixture: wall-clock read inside a sim/ subtree."""
+
+import time
+
+
+def sweep(trace):
+    started = time.time()  # leaks wall-clock into a sim layer
+    return len(trace), started

@@ -1,0 +1,9 @@
+"""R001 negative fixture: suppressed instrumentation read in sim/."""
+
+import time
+
+
+def sweep(trace):
+    # Timing instrumentation only; never reaches results.
+    started = time.time()  # reprolint: disable=R001
+    return len(trace), started

@@ -1,0 +1,9 @@
+"""R004 positive fixture: hard-coded mask and dtype-less allocation."""
+
+import numpy as np
+
+
+def fold_history(values, history_bits):
+    table = np.zeros(1 << history_bits)  # float64 by default
+    folded = (values * 2 + 1) & 4095  # 12-bit literal vs history_bits
+    return folded, table

@@ -1,0 +1,10 @@
+"""R004 negative fixture: derived masks and explicit dtypes."""
+
+import numpy as np
+
+
+def fold_history(values, history_bits):
+    mask = (1 << history_bits) - 1
+    table = np.zeros(1 << history_bits, dtype=np.int64)
+    folded = (values * 2 + 1) & mask
+    return folded, table

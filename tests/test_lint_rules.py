@@ -1,0 +1,133 @@
+"""Per-rule positive/negative tests of the reprolint rules on fixtures."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint.engine import run_lint
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+
+def lint(target: str, rule: str):
+    return run_lint([FIXTURES / target], select=frozenset({rule}))
+
+
+def rules_hit(result):
+    return {finding.rule for finding in result.findings}
+
+
+# One (positive fixture, negative fixture) pair per rule; the positive
+# side of each pair is also the CI acceptance fixture for "exits nonzero
+# on each of >= 6 fixture files".
+CASES = [
+    ("R001", "r001_bad.py", "r001_ok.py"),
+    ("R001", "sim/r001_time_bad.py", "sim/r001_time_ok.py"),
+    ("R002", "r002_bad", "r002_ok"),
+    ("R003", "r003_bad.py", "r003_ok.py"),
+    ("R004", "sim/r004_bad.py", "sim/r004_ok.py"),
+    ("R005", "r005_bad.py", "r005_ok.py"),
+    ("R006", "r006_bad", "r006_ok"),
+]
+
+
+@pytest.mark.parametrize("rule,bad,ok", CASES)
+def test_rule_fires_on_bad_fixture(rule, bad, ok):
+    result = lint(bad, rule)
+    assert rules_hit(result) == {rule}
+    assert result.exit_code == 1
+
+
+@pytest.mark.parametrize("rule,bad,ok", CASES)
+def test_rule_quiet_on_ok_fixture(rule, bad, ok):
+    result = lint(ok, rule)
+    assert result.findings == []
+    assert result.exit_code == 0
+
+
+@pytest.mark.parametrize("rule,bad,ok", CASES)
+def test_full_registry_fails_bad_fixture(rule, bad, ok):
+    # The acceptance-criteria form: a plain `repro lint <fixture>` run
+    # (all rules) must exit nonzero on every positive fixture.
+    result = run_lint([FIXTURES / bad])
+    assert result.exit_code == 1
+    assert rule in rules_hit(result)
+
+
+def test_r001_reports_each_hazard_kind():
+    result = lint("r001_bad.py", "R001")
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "without a seed" in messages
+    assert "global RNG state" in messages
+    assert "sorted" in messages
+
+
+def test_r001_clock_scope_is_path_based(tmp_path):
+    # The same wall-clock read outside sim//experiments/ is fine.
+    source = (FIXTURES / "sim" / "r001_time_bad.py").read_text()
+    unscoped = tmp_path / "tooling.py"
+    unscoped.write_text(source)
+    assert run_lint([unscoped], select=frozenset({"R001"})).findings == []
+
+
+def test_r002_names_the_unhashed_field():
+    result = lint("r002_bad", "R002")
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "speculative_depth" in finding.message
+    assert finding.path.endswith("config.py")
+
+
+def test_r002_flags_unpopulated_key_field(tmp_path):
+    # A StreamKey field _stream_request never sets is the other direction.
+    for name in ("config.py", "runner.py"):
+        (tmp_path / name).write_text((FIXTURES / "r002_ok" / name).read_text())
+    runner = tmp_path / "runner.py"
+    runner.write_text(
+        runner.read_text().replace('        "seed": config.seed,\n', "")
+    )
+    result = run_lint([tmp_path], select=frozenset({"R002"}))
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "StreamKey.seed" in messages
+
+
+def test_r002_flags_chunk_key_missing_base(tmp_path):
+    for name in ("config.py", "runner.py"):
+        (tmp_path / name).write_text((FIXTURES / "r002_ok" / name).read_text())
+    runner = tmp_path / "runner.py"
+    runner.write_text(
+        runner.read_text().replace(
+            "class ChunkStreamKey(StreamKey):", "class ChunkStreamKey:"
+        )
+    )
+    result = run_lint([tmp_path], select=frozenset({"R002"}))
+    assert any("must subclass" in finding.message for finding in result.findings)
+
+
+def test_r003_reports_lambda_and_global_mutation():
+    result = lint("r003_bad.py", "R003")
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "lambda" in messages
+    assert "_COUNTER" in messages
+
+
+def test_r004_reports_mask_and_dtype():
+    result = lint("sim/r004_bad.py", "R004")
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "4095" in messages
+    assert "history_bits" in messages
+    assert "dtype" in messages
+    assert all(finding.severity == "warning" for finding in result.findings)
+
+
+def test_r005_names_the_dead_counter():
+    result = lint("r005_bad.py", "R005")
+    assert len(result.findings) == 1
+    assert "ghost.counter" in result.findings[0].message
+
+
+def test_r006_reports_both_directions():
+    result = lint("r006_bad", "R006")
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "missing_export" in messages  # declared but undefined
+    assert "_internal" in messages  # imported but private

@@ -1,0 +1,95 @@
+"""Self-checks: reprolint is clean on src/repro and guards the real tree.
+
+The injection tests copy the *actual* config/runner sources into a temp
+tree and re-introduce the bug class each rule exists for, proving the
+rules bite on the real code shape, not just on hand-written fixtures.
+"""
+
+from pathlib import Path
+
+from repro.analysis.lint.engine import run_lint
+from repro.cli import main as repro_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def test_reprolint_clean_on_src_repro():
+    result = run_lint([SRC_REPRO])
+    assert result.findings == [], "\n".join(
+        finding.render() for finding in result.findings
+    )
+    assert result.exit_code == 0
+    assert result.files_checked > 50
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    assert repro_main(["lint", str(SRC_REPRO)]) == 0
+    assert "0 error(s)" in capsys.readouterr().out
+
+
+def test_r002_catches_field_added_without_cache_key(tmp_path):
+    """Acceptance criterion: add a config field, forget the key, get flagged."""
+    config_source = (SRC_REPRO / "experiments" / "config.py").read_text()
+    runner_source = (SRC_REPRO / "experiments" / "runner.py").read_text()
+    assert "max_retries: int = 2" in config_source
+    injected = config_source.replace(
+        "max_retries: int = 2",
+        "speculative_depth: int = 4\n    max_retries: int = 2",
+        1,
+    )
+    (tmp_path / "config.py").write_text(injected)
+    (tmp_path / "runner.py").write_text(runner_source)
+    result = run_lint([tmp_path], select=frozenset({"R002"}))
+    assert result.exit_code == 1
+    assert any(
+        "speculative_depth" in finding.message for finding in result.findings
+    )
+
+
+def test_r002_passes_when_field_is_keyed(tmp_path):
+    """The counterpart: reading the new field in _stream_request clears it."""
+    config_source = (SRC_REPRO / "experiments" / "config.py").read_text()
+    runner_source = (SRC_REPRO / "experiments" / "runner.py").read_text()
+    injected_config = config_source.replace(
+        "max_retries: int = 2",
+        "speculative_depth: int = 4\n    max_retries: int = 2",
+        1,
+    )
+    injected_runner = runner_source.replace(
+        '"seed": config.seed,',
+        '"seed": config.seed,\n        "speculative_depth": config.speculative_depth,',
+        1,
+    )
+    assert injected_runner != runner_source
+    (tmp_path / "config.py").write_text(injected_config)
+    (tmp_path / "runner.py").write_text(injected_runner)
+    result = run_lint([tmp_path], select=frozenset({"R002"}))
+    assert all(
+        "speculative_depth" not in finding.message for finding in result.findings
+    )
+
+
+def test_r001_catches_unseeded_rng_added_to_sim(tmp_path):
+    """A nondeterminism regression in a sim/ module is flagged."""
+    sim_dir = tmp_path / "sim"
+    sim_dir.mkdir()
+    fast_source = (SRC_REPRO / "sim" / "fast.py").read_text()
+    poisoned = fast_source + (
+        "\n\ndef jitter(values):\n"
+        "    return values + np.random.default_rng().integers(0, 2)\n"
+    )
+    (sim_dir / "fast.py").write_text(poisoned)
+    result = run_lint([sim_dir], select=frozenset({"R001"}))
+    assert result.exit_code == 1
+
+
+def test_r006_catches_private_facade_import(tmp_path):
+    """Importing a facade-private helper from repro.api is flagged."""
+    (tmp_path / "api.py").write_text((SRC_REPRO / "api.py").read_text())
+    (tmp_path / "consumer.py").write_text(
+        "from repro.api import _configure\n"
+    )
+    result = run_lint([tmp_path], select=frozenset({"R006"}))
+    assert result.exit_code == 1
+    assert any("_configure" in finding.message for finding in result.findings)
