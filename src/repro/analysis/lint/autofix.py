@@ -14,9 +14,13 @@ automated:
 
 Fixes are applied as textual splices at AST-reported offsets (never a
 reformat of the whole file), bottom-up so earlier edits cannot shift
-later offsets.  Both transforms are idempotent: ``sorted({...})`` no
-longer matches the set-iteration pattern, and an exported name is no
-longer missing.
+later offsets.  When matched spans nest (a set iterated inside another
+iterated set expression), only the outermost span is fixed in a run —
+an inner splice would invalidate the enclosing span's offsets — and the
+next run fixes the inner one from fresh offsets.  Repeated runs
+therefore converge to a fixpoint at which both transforms are
+idempotent: ``sorted({...})`` no longer matches the set-iteration
+pattern, and an exported name is no longer missing.
 """
 
 from __future__ import annotations
@@ -71,6 +75,27 @@ def _node_span(
     )
 
 
+def _drop_nested_spans(
+    spans: List[Tuple[int, int, int]]
+) -> List[Tuple[int, int, int]]:
+    """Keep only spans not contained within another matched span.
+
+    Splicing an inner span first would change the length inside the
+    enclosing span, so the outer splice would use a stale end offset and
+    write broken code.  Fixing only the outermost span per nest keeps
+    every applied edit valid; the next ``--fix`` run sees the inner set
+    with fresh offsets, so repeated runs converge.
+    """
+    return [
+        span
+        for span in spans
+        if not any(
+            other[0] <= span[0] and span[1] <= other[1] and other[:2] != span[:2]
+            for other in spans
+        )
+    ]
+
+
 def _fix_set_iteration(parsed: ParsedFile) -> Tuple[Optional[str], List[FixEdit]]:
     """Wrap every directly-iterated set expression in ``sorted(...)``."""
     spans: List[Tuple[int, int, int]] = []
@@ -81,6 +106,7 @@ def _fix_set_iteration(parsed: ParsedFile) -> Tuple[Optional[str], List[FixEdit]
         span = _node_span(parsed.source, offsets, iterable)
         if span is not None:
             spans.append((span[0], span[1], iterable.lineno))
+    spans = _drop_nested_spans(spans)
     if not spans:
         return None, []
     edits: List[FixEdit] = []
@@ -180,7 +206,17 @@ def apply_fixes(paths: Sequence[Path], *, write: bool = True) -> List[FixEdit]:
             all_edits.extend(edits)
 
     api_file, missing = _importable_missing_exports(project)
-    if api_file is not None and missing and api_file.path not in new_sources:
+    if api_file is not None and missing:
+        if api_file.path in new_sources:
+            # The facade itself just received text edits; re-parse the
+            # edited source so the __all__ offsets are computed fresh.
+            updated_source = new_sources[api_file.path]
+            api_file = ParsedFile(
+                path=api_file.path,
+                display=api_file.display,
+                source=updated_source,
+                tree=ast.parse(updated_source),
+            )
         text, edits = _fix_missing_exports(api_file, missing)
         if text is not None:
             new_sources[api_file.path] = text

@@ -38,8 +38,12 @@ SEVERITIES: Tuple[str, ...] = ("info", "warning", "error")
 #: Pseudo-rule id used for files the engine cannot parse.
 PARSE_ERROR_RULE = "R000"
 
+#: The rule list stops at the first non-rule token so a same-line
+#: justification (``# reprolint: disable=R001 - timing only``) is not
+#: swallowed into the rule names.
 _SUPPRESS_RE = re.compile(
-    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_*,\- ]+|all)"
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)"
 )
 
 #: Marker excusing a config dataclass field from cache-key hashing (R002).

@@ -19,8 +19,10 @@ The rule cross-checks three declarations that live in different files:
 * ``ChunkStreamKey`` must subclass ``StreamKey`` so the chunk tier
   inherits the full key.
 
-All three anchors are found by name project-wide, so the rule works on
-fixture trees as well as on ``src/repro``.
+All three anchors are found by name, and each config/key class is bound
+to the ``_stream_request`` definition sharing the longest directory
+prefix with it, so the rule works on fixture trees as well as on
+``src/repro`` — even when one lint run scans both at once.
 """
 
 from __future__ import annotations
@@ -52,14 +54,44 @@ def _find_class(
     return found
 
 
-def _find_function(
+def _find_functions(
     project: Project, name: str
-) -> Optional[Tuple[ParsedFile, ast.FunctionDef]]:
+) -> List[Tuple[ParsedFile, ast.FunctionDef]]:
+    found: List[Tuple[ParsedFile, ast.FunctionDef]] = []
     for parsed in project.iter_files():
         for node in ast.walk(parsed.tree):
             if isinstance(node, ast.FunctionDef) and node.name == name:
-                return parsed, node
-    return None
+                found.append((parsed, node))
+    return found
+
+
+def _shared_parts(left: ParsedFile, right: ParsedFile) -> int:
+    """Number of leading directory components the two files share."""
+    count = 0
+    for a, b in zip(left.path.parent.parts, right.path.parent.parts):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+def _closest_request(
+    requests: List[Tuple[ParsedFile, ast.FunctionDef]], anchor: ParsedFile
+) -> Optional[Tuple[ParsedFile, ast.FunctionDef]]:
+    """The funnel definition nearest ``anchor`` in the directory tree.
+
+    A scanned tree may contain several ``_stream_request`` definitions
+    (e.g. ``src/repro`` plus lint fixtures); binding each config/key
+    class to the funnel sharing the longest path prefix keeps unrelated
+    config/key/request triples from cross-wiring.
+    """
+    best: Optional[Tuple[ParsedFile, ast.FunctionDef]] = None
+    best_score = -1
+    for candidate in requests:
+        score = _shared_parts(candidate[0], anchor)
+        if score > best_score:
+            best, best_score = candidate, score
+    return best
 
 
 def _dataclass_fields(node: ast.ClassDef) -> List[Tuple[str, ast.AnnAssign]]:
@@ -116,47 +148,50 @@ def _config_param(function: ast.FunctionDef) -> Optional[str]:
 
 def check(project: Project) -> List[Finding]:
     findings: List[Finding] = []
-    request = _find_function(project, _REQUEST_FUNCTION)
-    config_classes = _find_class(project, _CONFIG_CLASS)
+    requests = _find_functions(project, _REQUEST_FUNCTION)
 
-    if request is not None and config_classes:
+    for parsed, class_def in _find_class(project, _CONFIG_CLASS):
+        request = _closest_request(requests, parsed)
+        if request is None:
+            continue
         _, request_def = request
         param = _config_param(request_def)
         reads = _attribute_reads(request_def, param) if param else set()
-        for parsed, class_def in config_classes:
-            for name, field in _dataclass_fields(class_def):
-                if name in reads or _is_exempt(parsed, field):
-                    continue
-                findings.append(
-                    parsed.finding(
-                        RULE_ID,
-                        SEVERITY,
-                        field,
-                        f"{_CONFIG_CLASS}.{name} is never hashed into the stream "
-                        f"cache key ({_REQUEST_FUNCTION} does not read it); extend "
-                        "the key, or mark the field `# reprolint: cache-exempt` "
-                        "with a justification if it cannot affect the cached sweep",
-                    )
+        for name, field in _dataclass_fields(class_def):
+            if name in reads or _is_exempt(parsed, field):
+                continue
+            findings.append(
+                parsed.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    field,
+                    f"{_CONFIG_CLASS}.{name} is never hashed into the stream "
+                    f"cache key ({_REQUEST_FUNCTION} does not read it); extend "
+                    "the key, or mark the field `# reprolint: cache-exempt` "
+                    "with a justification if it cannot affect the cached sweep",
                 )
+            )
 
     key_classes = _find_class(project, _KEY_CLASS)
-    if request is not None and key_classes:
+    for parsed, class_def in key_classes:
+        request = _closest_request(requests, parsed)
+        if request is None:
+            continue
         request_file, request_def = request
         keys = _request_dict_keys(request_def)
-        for parsed, class_def in key_classes:
-            for name, _field in _dataclass_fields(class_def):
-                if name in keys:
-                    continue
-                findings.append(
-                    request_file.finding(
-                        RULE_ID,
-                        SEVERITY,
-                        request_def,
-                        f"{_KEY_CLASS}.{name} is a cache-key field but "
-                        f"{_REQUEST_FUNCTION} never populates it — the default "
-                        "would be hashed for every request",
-                    )
+        for name, _field in _dataclass_fields(class_def):
+            if name in keys:
+                continue
+            findings.append(
+                request_file.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    request_def,
+                    f"{_KEY_CLASS}.{name} is a cache-key field but "
+                    f"{_REQUEST_FUNCTION} never populates it — the default "
+                    "would be hashed for every request",
                 )
+            )
 
     for parsed, class_def in _find_class(project, _CHUNK_KEY_CLASS):
         base_names = {

@@ -28,7 +28,8 @@ RULE_ID = "R001"
 SEVERITY = "error"
 SUMMARY = "determinism: unseeded RNG, wall-clock reads in sim/experiments, set-order iteration"
 
-#: Constructors that are fine *when given an explicit seed argument*.
+#: Constructors that are fine *when given an explicit seed argument*
+#: (a literal ``None`` seed requests OS entropy and does not count).
 _SEEDABLE = frozenset(
     {
         "numpy.random.default_rng",
@@ -44,6 +45,21 @@ _SEEDABLE = frozenset(
 _CLOCK_SCOPES = ("sim", "experiments")
 
 
+def _seed_argument_is_none(call: ast.Call) -> bool:
+    """True when the call's only argument is a literal ``None`` seed."""
+    if len(call.args) == 1 and not call.keywords:
+        argument = call.args[0]
+        return isinstance(argument, ast.Constant) and argument.value is None
+    if not call.args and len(call.keywords) == 1:
+        keyword = call.keywords[0]
+        return (
+            keyword.arg == "seed"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is None
+        )
+    return False
+
+
 def _check_rng_call(
     parsed: ParsedFile, call: ast.Call, aliases: Dict[str, str]
 ) -> List[Finding]:
@@ -51,14 +67,20 @@ def _check_rng_call(
     if name is None:
         return []
     if name in _SEEDABLE:
-        if call.args or call.keywords:
+        has_arguments = bool(call.args or call.keywords)
+        if has_arguments and not _seed_argument_is_none(call):
             return []
+        spelled = (
+            f"`{name}(None)` seeded with None still"
+            if has_arguments
+            else f"`{name}()` without a seed"
+        )
         return [
             parsed.finding(
                 RULE_ID,
                 SEVERITY,
                 call,
-                f"`{name}()` without a seed draws OS entropy; "
+                f"{spelled} draws OS entropy; "
                 "pass an explicit seed (see repro.utils.rng.derive_seed)",
             )
         ]

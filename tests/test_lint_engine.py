@@ -1,5 +1,6 @@
 """Engine-level tests: suppressions, JSON schema, CLI exit codes, autofix."""
 
+import ast
 import json
 import shutil
 import subprocess
@@ -42,6 +43,30 @@ def test_line_suppression_is_rule_specific(tmp_path):
     result = run_lint([bad])
     assert [finding.rule for finding in result.findings] == ["R001"]
     assert result.suppressed == 0
+
+
+def test_line_suppression_with_same_line_justification(tmp_path):
+    # The documented style puts the justification on the same line; it
+    # must not be swallowed into the rule list.
+    bad = tmp_path / "module.py"
+    bad.write_text(UNSEEDED.replace(
+        "np.random.default_rng()",
+        "np.random.default_rng()  # reprolint: disable=R001 - timing only",
+    ))
+    result = run_lint([bad])
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_multi_rule_suppression_with_justification(tmp_path):
+    bad = tmp_path / "module.py"
+    bad.write_text(UNSEEDED.replace(
+        "np.random.default_rng()",
+        "np.random.default_rng()  # reprolint: disable=R001, R004 -- see #42",
+    ))
+    result = run_lint([bad])
+    assert result.findings == []
+    assert result.suppressed == 1
 
 
 def test_disable_all_on_line(tmp_path):
@@ -150,6 +175,26 @@ def test_fix_wraps_set_iteration_and_is_idempotent(tmp_path):
     assert apply_fixes([target]) == []  # second pass: nothing left to do
 
 
+def test_fix_nested_set_iteration_stays_valid_and_converges(tmp_path):
+    # An inner edit would shift the enclosing span's offsets; only the
+    # outermost span may be fixed per run, and every intermediate state
+    # must still parse.
+    target = tmp_path / "nested.py"
+    target.write_text(
+        "def fold():\n"
+        "    return [x for x in {y for y in {3, 1, 2}}]\n"
+    )
+    passes = 0
+    while apply_fixes([target]):
+        ast.parse(target.read_text())  # each pass writes valid syntax
+        passes += 1
+        assert passes <= 5, "autofix failed to converge"
+    assert passes == 2
+    text = target.read_text()
+    assert "sorted({y for y in sorted({3, 1, 2})})" in text
+    assert run_lint([target], select=frozenset({"R001"})).findings == []
+
+
 def test_fix_adds_missing_all_entries_and_is_idempotent(tmp_path):
     for name in ("api.py", "client.py"):
         shutil.copy(FIXTURES / "r006_fixable" / name, tmp_path / name)
@@ -158,6 +203,36 @@ def test_fix_adds_missing_all_entries_and_is_idempotent(tmp_path):
     assert [edit.description for edit in edits] == ['added "helper" to __all__']
     assert '__all__ = ["run", "helper"]' in (tmp_path / "api.py").read_text()
     assert run_lint([tmp_path], select=frozenset({"R006"})).exit_code == 0
+    assert apply_fixes([tmp_path]) == []
+
+
+def test_fix_handles_api_file_with_both_fix_kinds_in_one_run(tmp_path):
+    # When api.py itself receives a set-iteration fix, the __all__ fix
+    # must still land in the same run (offsets recomputed from the
+    # edited text), not be silently deferred to a second invocation.
+    (tmp_path / "api.py").write_text(
+        '__all__ = ["run"]\n'
+        "\n"
+        "\n"
+        "def run():\n"
+        "    return [x for x in {3, 1, 2}]\n"
+        "\n"
+        "\n"
+        "def helper():\n"
+        "    return 0\n"
+    )
+    (tmp_path / "client.py").write_text("from api import run, helper\n")
+    edits = apply_fixes([tmp_path])
+    descriptions = sorted(edit.description for edit in edits)
+    assert descriptions == [
+        'added "helper" to __all__',
+        "wrapped set iteration in sorted(...)",
+    ]
+    text = (tmp_path / "api.py").read_text()
+    ast.parse(text)
+    assert '__all__ = ["run", "helper"]' in text
+    assert "sorted({3, 1, 2})" in text
+    assert run_lint([tmp_path], select=frozenset({"R001", "R006"})).findings == []
     assert apply_fixes([tmp_path]) == []
 
 

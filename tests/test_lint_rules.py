@@ -70,6 +70,39 @@ def test_r001_clock_scope_is_path_based(tmp_path):
     assert run_lint([unscoped], select=frozenset({"R001"})).findings == []
 
 
+def test_r001_flags_explicit_none_seed(tmp_path):
+    # default_rng(None) requests OS entropy exactly like the bare call.
+    module = tmp_path / "module.py"
+    module.write_text(
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def draw(seed):\n"
+        "    a = np.random.default_rng(None)\n"
+        "    b = np.random.default_rng(seed=None)\n"
+        "    c = np.random.default_rng(seed)\n"
+        "    return a, b, c\n"
+    )
+    result = run_lint([module], select=frozenset({"R001"}))
+    assert len(result.findings) == 2
+    assert all("OS entropy" in finding.message for finding in result.findings)
+    assert {finding.line for finding in result.findings} == {5, 6}
+
+
+def test_r002_binds_anchors_to_nearest_funnel():
+    # One run over both fixture trees: each config/key/request triple
+    # must bind within its own directory, not cross-wire to the first
+    # _stream_request found project-wide.
+    result = run_lint(
+        [FIXTURES / "r002_bad", FIXTURES / "r002_ok"],
+        select=frozenset({"R002"}),
+    )
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "speculative_depth" in finding.message
+    assert "r002_bad" in finding.path
+
+
 def test_r002_names_the_unhashed_field():
     result = lint("r002_bad", "R002")
     assert len(result.findings) == 1
