@@ -1,0 +1,169 @@
+"""Batched sweep-engine speedup gate.
+
+Times the grid-shaped experiments (several confidence-table
+configurations over the same predictor streams) under both execution
+engines and FAILS unless the batched engine is at least
+``SPEEDUP_FLOOR`` times faster overall.
+
+The measurement mirrors how the engines differ in production: both run
+in chunked mode against a pre-warmed per-chunk disk tier with cold
+process memory, so the per-config path pays one pass through the chunk
+tier *per grid row* (plus one history reconstruction per row) while the
+batched engine reads each chunk once and fuses the whole grid into
+single numpy passes with a leading config axis.  Batched timings include
+the engine's own sweep-result cache stores; the sweep tier is purged
+before each batched run so the kernel — not a cache hit — is what gets
+timed.
+
+Usage (exits non-zero on gate failure)::
+
+    PYTHONPATH=src python benchmarks/sweep_gate.py [--out BENCH_8.json]
+
+Writes a ``BENCH_8.json`` report either way with wall time, peak RSS,
+per-experiment cache hit rates, and the measured speedup factors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+from repro import observability
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import get_experiment
+from repro.sim.cache import clear_stream_cache
+from repro.sim.diskcache import sweep_cache_dir
+
+#: The registered experiments whose grids the batched engine fuses.
+GRID_EXPERIMENTS = (
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig10",
+    "fig11",
+    "ablation-indexing",
+    "ablation-counter-width",
+)
+
+#: Overall speedup (total per-config seconds / total batched seconds)
+#: required to pass.
+SPEEDUP_FLOOR = 2.0
+
+CONFIG = ExperimentConfig(
+    benchmarks=("jpeg_play", "gcc", "mpeg_play", "nroff"),
+    trace_length=16_384,
+    chunk_size=256,
+)
+
+
+def _purge_sweep_tier() -> None:
+    """Drop persisted sweep results so batched runs time the kernel."""
+    directory = sweep_cache_dir()
+    if directory.is_dir():
+        for entry in directory.glob("*.npz"):
+            entry.unlink()
+
+
+def _hit_rate(hits: int, misses: int) -> float:
+    total = hits + misses
+    return hits / total if total else 0.0
+
+
+def _timed_run(experiment_id: str, engine: str) -> dict:
+    """One cold-memory run against the warm chunk tier."""
+    clear_stream_cache()
+    _purge_sweep_tier()
+    observability.reset_metrics()
+    started = time.perf_counter()
+    get_experiment(experiment_id).run(CONFIG.scaled(engine=engine))
+    seconds = time.perf_counter() - started
+    chunk_hits = observability.counter_value("stream_cache.chunk_hits")
+    chunk_sweeps = observability.counter_value("stream_cache.chunk_sweeps")
+    return {
+        "seconds": seconds,
+        "chunk_hits": chunk_hits,
+        "chunk_sweeps": chunk_sweeps,
+        "cache_hit_rate": _hit_rate(chunk_hits, chunk_sweeps),
+        "grid_sweeps": observability.counter_value("batched.grid_sweeps"),
+    }
+
+
+def run_gate(out_path: str) -> int:
+    started = time.perf_counter()
+
+    # Warm the per-chunk disk tier once; both engines then read the same
+    # entries, so the comparison isolates execution strategy, not I/O luck.
+    for experiment_id in GRID_EXPERIMENTS:
+        get_experiment(experiment_id).run(CONFIG)
+
+    experiments = {}
+    total_perconfig = 0.0
+    total_batched = 0.0
+    for experiment_id in GRID_EXPERIMENTS:
+        perconfig = _timed_run(experiment_id, "per-config")
+        batched = _timed_run(experiment_id, "batched")
+        total_perconfig += perconfig["seconds"]
+        total_batched += batched["seconds"]
+        experiments[experiment_id] = {
+            "perconfig_seconds": perconfig["seconds"],
+            "batched_seconds": batched["seconds"],
+            "speedup": perconfig["seconds"] / batched["seconds"],
+            "perconfig_cache_hit_rate": perconfig["cache_hit_rate"],
+            "batched_cache_hit_rate": batched["cache_hit_rate"],
+            "perconfig_chunk_reads": perconfig["chunk_hits"],
+            "batched_chunk_reads": batched["chunk_hits"],
+            "batched_grid_sweeps": batched["grid_sweeps"],
+        }
+
+    speedup = total_perconfig / total_batched
+    passed = speedup >= SPEEDUP_FLOOR
+    peak_rss = observability.record_peak_rss()
+
+    report = {
+        "schema": "repro-bench-sweep/2",
+        "created_unix": time.time(),
+        "benchmarks": len(CONFIG.benchmarks),
+        "trace_length": CONFIG.trace_length,
+        "chunk_size": CONFIG.chunk_size,
+        "experiments": experiments,
+        "perconfig_seconds": total_perconfig,
+        "batched_seconds": total_batched,
+        "speedup": speedup,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "peak_rss_bytes": peak_rss,
+        "wall_seconds": time.perf_counter() - started,
+        "passed": passed,
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for experiment_id, row in experiments.items():
+        print(
+            f"sweep gate: {experiment_id:18s} per-config "
+            f"{row['perconfig_seconds']:.3f}s  batched "
+            f"{row['batched_seconds']:.3f}s  ({row['speedup']:.2f}x, "
+            f"batched hit rate {row['batched_cache_hit_rate']:.0%})"
+        )
+    print(
+        f"sweep gate: overall {total_perconfig:.3f}s -> {total_batched:.3f}s "
+        f"({speedup:.2f}x, floor {SPEEDUP_FLOOR:.1f}x) -> "
+        f"{'PASS' if passed else 'FAIL'}"
+    )
+    return 0 if passed else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_8.json",
+        help="report path (default: BENCH_8.json)",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,8 @@ The rule cross-checks three declarations that live in different files:
 * every field of the ``StreamKey`` dataclass must appear as a key in the
   request dictionary ``_stream_request`` builds — a key field nothing
   populates would hash a default forever;
-* ``ChunkStreamKey`` must subclass ``StreamKey`` so the chunk tier
-  inherits the full key.
+* every derived key class (``ChunkStreamKey``, ``SweepKey``) must
+  subclass ``StreamKey`` so its cache tier inherits the full key.
 
 All three anchors are found by name, and each config/key class is bound
 to the ``_stream_request`` definition sharing the longest directory
@@ -35,12 +35,15 @@ from repro.analysis.lint.rules._common import string_constant
 
 RULE_ID = "R002"
 SEVERITY = "error"
-SUMMARY = "cache-key completeness: ExperimentConfig fields vs StreamKey/ChunkStreamKey hashing"
+SUMMARY = "cache-key completeness: ExperimentConfig fields vs StreamKey-family hashing"
 
 _REQUEST_FUNCTION = "_stream_request"
 _CONFIG_CLASS = "ExperimentConfig"
 _KEY_CLASS = "StreamKey"
-_CHUNK_KEY_CLASS = "ChunkStreamKey"
+#: Key classes that extend the stream key with tier-specific fields
+#: (per-chunk coordinates, sweep-grid digests).  Each must subclass
+#: ``StreamKey`` so its tier inherits the full content key.
+_DERIVED_KEY_CLASSES = ("ChunkStreamKey", "SweepKey")
 
 
 def _find_class(
@@ -193,21 +196,24 @@ def check(project: Project) -> List[Finding]:
                 )
             )
 
-    for parsed, class_def in _find_class(project, _CHUNK_KEY_CLASS):
-        base_names = {
-            base.id for base in class_def.bases if isinstance(base, ast.Name)
-        }
-        base_names.update(
-            base.attr for base in class_def.bases if isinstance(base, ast.Attribute)
-        )
-        if key_classes and _KEY_CLASS not in base_names:
-            findings.append(
-                parsed.finding(
-                    RULE_ID,
-                    SEVERITY,
-                    class_def,
-                    f"{_CHUNK_KEY_CLASS} must subclass {_KEY_CLASS} so the "
-                    "chunk tier inherits the full sweep key",
-                )
+    for derived_class in _DERIVED_KEY_CLASSES:
+        for parsed, class_def in _find_class(project, derived_class):
+            base_names = {
+                base.id for base in class_def.bases if isinstance(base, ast.Name)
+            }
+            base_names.update(
+                base.attr
+                for base in class_def.bases
+                if isinstance(base, ast.Attribute)
             )
+            if key_classes and _KEY_CLASS not in base_names:
+                findings.append(
+                    parsed.finding(
+                        RULE_ID,
+                        SEVERITY,
+                        class_def,
+                        f"{derived_class} must subclass {_KEY_CLASS} so its "
+                        "cache tier inherits the full sweep key",
+                    )
+                )
     return findings

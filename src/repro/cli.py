@@ -26,7 +26,7 @@ import sys
 from typing import List, Optional
 
 from repro.experiments import get_experiment, list_experiments
-from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.config import DEFAULT_CONFIG, ENGINES
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -75,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="seconds to wait per parallel task before retrying it",
     )
     run_parser.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="sweep engine: batched fuses the experiment's config grid "
+             "into single passes; per-config runs each grid point alone "
+             "(results are bit-identical)",
+    )
+    run_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
     )
 
@@ -100,6 +106,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument(
         "--task-timeout", type=float, default=None,
         help="seconds to wait per parallel task before retrying it",
+    )
+    run_all_parser.add_argument(
+        "--engine", choices=list(ENGINES), default=None,
+        help="sweep engine for every experiment (see 'run --help')",
     )
     run_all_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
@@ -163,22 +173,23 @@ def _config_from_args(args: argparse.Namespace):
     if getattr(args, "benchmarks", None):
         overrides["benchmarks"] = tuple(args.benchmarks)
     if getattr(args, "jobs", None) is not None:
-        if args.jobs < 1:
-            raise SystemExit("--jobs must be >= 1")
         overrides["jobs"] = args.jobs
     if getattr(args, "chunk_size", None) is not None:
-        if args.chunk_size < 1:
-            raise SystemExit("--chunk-size must be >= 1")
         overrides["chunk_size"] = args.chunk_size
     if getattr(args, "max_retries", None) is not None:
-        if args.max_retries < 0:
-            raise SystemExit("--max-retries must be >= 0")
         overrides["max_retries"] = args.max_retries
     if getattr(args, "task_timeout", None) is not None:
-        if args.task_timeout <= 0:
-            raise SystemExit("--task-timeout must be > 0")
         overrides["task_timeout"] = args.task_timeout
-    return config.scaled(**overrides) if overrides else config
+    if getattr(args, "engine", None) is not None:
+        overrides["engine"] = args.engine
+    if not overrides:
+        return config
+    try:
+        # Range validation lives in ExperimentConfig.__post_init__, so
+        # programmatic construction fails with exactly these messages too.
+        return config.scaled(**overrides)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _maybe_write_profile(args: argparse.Namespace, config) -> None:

@@ -15,8 +15,10 @@ from typing import Dict, Tuple
 
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import resetting_counter_statistics
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 #: Counter maxima swept (paper uses 16; 2 is a single-bit "hysteresis").
 WIDTHS: Tuple[int, ...] = (2, 4, 8, 16, 24)
@@ -57,8 +59,11 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> CounterWidthResult:
     curves: Dict[int, ConfidenceCurve] = {}
     at_headline: Dict[int, float] = {}
     saturated: Dict[int, Tuple[float, float]] = {}
-    for width in WIDTHS:
-        statistics = resetting_counter_statistics(config, maximum=width)
+    index = make_index("pc_xor_bhr", config.ct_index_bits)
+    results = sweep_grid(
+        config, [SweepSpec.resetting(index, width) for width in WIDTHS]
+    )
+    for width, statistics in zip(WIDTHS, results):
         combined = equal_weight_combine(statistics)
         curve = ConfidenceCurve.from_statistics(
             combined, order=range(width + 1), name=f"0..{width}"

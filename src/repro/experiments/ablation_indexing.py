@@ -23,7 +23,8 @@ from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
 from repro.core.indexing import ConcatIndex, GlobalCIRIndex, XorIndex
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import one_level_pattern_statistics
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 
 @dataclass(frozen=True)
@@ -98,10 +99,14 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> IndexingAblationResult:
     }
     curves: Dict[str, ConfidenceCurve] = {}
     at_headline: Dict[str, float] = {}
-    for label, index_function in variants.items():
-        statistics = one_level_pattern_statistics(
-            config, index_function=index_function
-        )
+    results = sweep_grid(
+        config,
+        [
+            SweepSpec.pattern(index_function, config.cir_bits)
+            for index_function in variants.values()
+        ],
+    )
+    for label, statistics in zip(variants, results):
         curve = ConfidenceCurve.from_statistics(
             equal_weight_combine(statistics), name=label
         )

@@ -15,6 +15,9 @@ from typing import Optional, Tuple
 
 from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, benchmark_names
 
+#: Valid values of :attr:`ExperimentConfig.engine`.
+ENGINES = ("batched", "per-config")
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -57,6 +60,31 @@ class ExperimentConfig:
     #: Seconds to wait for one parallel worker task before it is counted
     #: as timed out and retried (None = wait indefinitely).
     task_timeout: Optional[float] = None  # reprolint: cache-exempt - fault-handling knob
+    #: Sweep engine: "batched" fuses each experiment's config grid into
+    #: single numpy passes (:mod:`repro.sim.batched`); "per-config" runs
+    #: every grid point through its own sweep.  Bit-identical results
+    #: either way (pinned by the grid-equivalence golden suite), so the
+    #: knob is execution-only and cache-exempt.
+    engine: str = "batched"  # reprolint: cache-exempt - execution knob, results bit-identical
+
+    def __post_init__(self) -> None:
+        """Fail fast on knobs that would silently mis-shard work.
+
+        Programmatic construction gets exactly the messages the CLI
+        prints, so a bad ``jobs=0`` fails identically from both entries.
+        """
+        if self.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("--chunk-size must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("--max-retries must be >= 0")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("--task-timeout must be > 0")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"--engine must be one of {', '.join(ENGINES)}"
+            )
 
     def scaled(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced."""

@@ -18,11 +18,10 @@ from typing import Dict, Tuple
 
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import (
-    resetting_counter_statistics,
-    suite_misprediction_rate,
-)
+from repro.experiments.runner import suite_misprediction_rate, sweep_grid
+from repro.sim.batched import SweepSpec
 from repro.utils.bits import log2_exact
 
 #: The paper's table-size sweep.
@@ -66,10 +65,17 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig10Result:
     small = config.small_predictor
     curves: Dict[int, ConfidenceCurve] = {}
     at_headline: Dict[int, float] = {}
-    for size in TABLE_SIZES:
-        statistics = resetting_counter_statistics(
-            small, maximum=16, ct_index_bits=log2_exact(size)
-        )
+    # Dedupe sizes up front: each (benchmark, size) pair is swept exactly
+    # once per grid, and the whole grid goes through the sweep-result memo.
+    sizes = list(dict.fromkeys(TABLE_SIZES))
+    results = sweep_grid(
+        small,
+        [
+            SweepSpec.resetting(make_index("pc_xor_bhr", log2_exact(size)), 16)
+            for size in sizes
+        ],
+    )
+    for size, statistics in zip(sizes, results):
         curve = ConfidenceCurve.from_statistics(
             equal_weight_combine(statistics),
             order=range(17),

@@ -20,9 +20,11 @@ import numpy as np
 
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.core.init_policies import init_lastbit, init_ones, init_random, init_zeros
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import one_level_pattern_statistics
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 _POLICIES = ("one", "zero", "lastbit", "random")
 
@@ -77,11 +79,17 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig11Result:
     entries = 1 << config.ct_index_bits
     curves: Dict[str, ConfidenceCurve] = {}
     at_headline: Dict[str, float] = {}
-    for policy in _POLICIES:
-        patterns = _initial_patterns(policy, entries, config.cir_bits, config.seed)
-        statistics = one_level_pattern_statistics(
-            config, index_kind="pc_xor_bhr", init_patterns=patterns
+    index = make_index("pc_xor_bhr", config.ct_index_bits)
+    specs = [
+        SweepSpec.pattern(
+            index,
+            config.cir_bits,
+            init=_initial_patterns(policy, entries, config.cir_bits, config.seed),
         )
+        for policy in _POLICIES
+    ]
+    results = sweep_grid(config, specs)
+    for policy, statistics in zip(_POLICIES, results):
         curve = ConfidenceCurve.from_statistics(
             equal_weight_combine(statistics), name=policy
         )

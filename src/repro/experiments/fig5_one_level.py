@@ -16,9 +16,11 @@ from typing import Dict
 
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.experiments import fig2_static
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import one_level_pattern_statistics
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 #: Paper's mispredictions captured at 20 % of branches, per index.
 PAPER_AT_20_PERCENT = {"PC": 72.0, "BHR": 85.0, "BHRxorPC": 89.0}
@@ -67,8 +69,12 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig5Result:
     curves: Dict[str, ConfidenceCurve] = {}
     at_headline: Dict[str, float] = {}
     zero_bucket = (0.0, 0.0)
-    for kind, label in _LABELS.items():
-        statistics = one_level_pattern_statistics(config, index_kind=kind)
+    specs = [
+        SweepSpec.pattern(make_index(kind, config.ct_index_bits), config.cir_bits)
+        for kind in _LABELS
+    ]
+    results = sweep_grid(config, specs)
+    for (kind, label), statistics in zip(_LABELS.items(), results):
         combined = equal_weight_combine(statistics)
         curve = ConfidenceCurve.from_statistics(combined, name=label)
         curves[label] = curve

@@ -19,9 +19,11 @@ from typing import Dict
 
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.experiments import fig2_static
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import two_level_pattern_statistics
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 #: (first-level index kind, second uses PC, second uses BHR) per label.
 VARIANTS = {
@@ -56,13 +58,17 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig6Result:
     """Build the three two-level curves plus the static baseline."""
     curves: Dict[str, ConfidenceCurve] = {}
     at_headline: Dict[str, float] = {}
-    for label, (first_kind, use_pc, use_bhr) in VARIANTS.items():
-        statistics = two_level_pattern_statistics(
-            config,
-            first_index_kind=first_kind,
+    specs = [
+        SweepSpec.two_level(
+            make_index(first_kind, config.ct_index_bits),
+            config.cir_bits,
             second_use_pc=use_pc,
             second_use_bhr=use_bhr,
         )
+        for first_kind, use_pc, use_bhr in VARIANTS.values()
+    ]
+    results = sweep_grid(config, specs)
+    for label, statistics in zip(VARIANTS, results):
         curve = ConfidenceCurve.from_statistics(
             equal_weight_combine(statistics), name=label
         )

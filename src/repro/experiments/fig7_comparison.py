@@ -12,12 +12,11 @@ from dataclasses import dataclass
 
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.experiments import fig2_static
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import (
-    one_level_pattern_statistics,
-    two_level_pattern_statistics,
-)
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 
 @dataclass(frozen=True)
@@ -62,17 +61,19 @@ class Fig7Result:
 
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig7Result:
     """Compare the best mechanisms of Figs. 2, 5, and 6."""
+    index = make_index("pc_xor_bhr", config.ct_index_bits)
+    one_level_stats, two_level_stats = sweep_grid(
+        config,
+        [
+            SweepSpec.pattern(index, config.cir_bits),
+            SweepSpec.two_level(index, config.cir_bits),
+        ],
+    )
     one_level = ConfidenceCurve.from_statistics(
-        equal_weight_combine(
-            one_level_pattern_statistics(config, index_kind="pc_xor_bhr")
-        ),
-        name="BHRxorPC",
+        equal_weight_combine(one_level_stats), name="BHRxorPC"
     )
     two_level = ConfidenceCurve.from_statistics(
-        equal_weight_combine(
-            two_level_pattern_statistics(config, first_index_kind="pc_xor_bhr")
-        ),
-        name="BHRxorPC-CIR",
+        equal_weight_combine(two_level_stats), name="BHRxorPC-CIR"
     )
     return Fig7Result(
         one_level=one_level,

@@ -21,13 +21,11 @@ import numpy as np
 from repro.analysis.buckets import BucketStatistics
 from repro.analysis.curves import ConfidenceCurve
 from repro.analysis.weighting import equal_weight_combine
+from repro.core.indexing import make_index
 from repro.core.reduction import OnesCountReduction
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from repro.experiments.runner import (
-    one_level_pattern_statistics,
-    resetting_counter_statistics,
-    saturating_counter_statistics,
-)
+from repro.experiments.runner import sweep_grid
+from repro.sim.batched import SweepSpec
 
 
 @dataclass(frozen=True)
@@ -68,17 +66,21 @@ def _ones_count_statistics(
 
 def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Fig8Result:
     """Build the four reduction-function curves."""
-    pattern_statistics = one_level_pattern_statistics(config, "pc_xor_bhr")
     maximum = config.cir_bits  # counters count 0..16 for 16-bit CIRs
+    index = make_index("pc_xor_bhr", config.ct_index_bits)
+    pattern_statistics, saturating_statistics, resetting_statistics = sweep_grid(
+        config,
+        [
+            SweepSpec.pattern(index, config.cir_bits),
+            SweepSpec.saturating(index, maximum),
+            SweepSpec.resetting(index, maximum),
+        ],
+    )
 
     ideal = equal_weight_combine(pattern_statistics)
     ones = equal_weight_combine(_ones_count_statistics(config, pattern_statistics))
-    saturating = equal_weight_combine(
-        saturating_counter_statistics(config, maximum=maximum)
-    )
-    resetting = equal_weight_combine(
-        resetting_counter_statistics(config, maximum=maximum)
-    )
+    saturating = equal_weight_combine(saturating_statistics)
+    resetting = equal_weight_combine(resetting_statistics)
 
     curves = {
         "BHRxorPC (ideal)": ConfidenceCurve.from_statistics(

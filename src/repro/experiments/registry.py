@@ -210,9 +210,20 @@ def _report_worker(payload: Tuple[str, ExperimentConfig]):
 
 
 def _serial_report(payload: Tuple[str, ExperimentConfig]) -> ExperimentReport:
-    """In-parent degraded path: the same experiment, no pool, no fault hooks."""
+    """In-parent degraded path: the same experiment, pool-worker parity.
+
+    Runs under :func:`repro.utils.resilient.serial_task`, so the report's
+    metrics delta is isolated from the parent's counters and merged back
+    exactly once — a ``--profile`` snapshot from a degraded run matches a
+    pool run's accounting (parent counters never bleed into the report,
+    and the serial fault hooks still fire).
+    """
+    from repro.utils.resilient import serial_task
+
     experiment_id, config = payload
-    return run_experiment_report(experiment_id, config)
+    return serial_task(
+        experiment_id, lambda: run_experiment_report(experiment_id, config)
+    )
 
 
 def run_all_reports(

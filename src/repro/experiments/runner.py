@@ -8,7 +8,8 @@ combine them with the paper's equal-branch-count weighting.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -16,12 +17,23 @@ from repro import observability
 from repro.analysis.buckets import BucketStatistics
 from repro.core.indexing import IndexFunction, make_index
 from repro.experiments.config import ExperimentConfig
+from repro.sim.batched import (
+    PATTERN,
+    RESETTING,
+    SATURATING,
+    GridObserver,
+    SweepSpec,
+    grid_digest,
+)
 from repro.sim.cache import (
     cached_predictor_streams,
     has_disk_entry,
     iter_cached_stream_chunks,
+    load_sweep_results,
     peek_cached_streams,
     seed_memory_tier,
+    store_sweep_results,
+    sweep_result_key,
 )
 from repro.sim.chunked import (
     CIRTableObserver,
@@ -39,7 +51,7 @@ from repro.sim.fast import (
 )
 from repro.testing import faults
 from repro.utils.bits import bit_mask
-from repro.utils.resilient import resilient_map
+from repro.utils.resilient import resilient_map, serial_task
 
 #: Initial CIR patterns by policy name, resolved per (entries, cir_bits).
 InitSpec = "int | np.ndarray"
@@ -76,9 +88,18 @@ def _stream_worker(payload: Dict):
 
 
 def _serial_stream_worker(payload: Dict) -> PredictorStreams:
-    """In-parent degraded path: the same sweep, no pool, no fault hooks."""
-    return cached_predictor_streams(
-        chunk_size=payload["chunk_size"], **payload["request"]
+    """In-parent degraded path: the same sweep, pool-worker parity.
+
+    Wrapped in :func:`repro.utils.resilient.serial_task` so the sweep's
+    metrics delta is isolated and merged exactly like a pool worker's
+    snapshot, and the serial fault hooks fire at task entry.
+    """
+    request = payload["request"]
+    return serial_task(
+        request.get("benchmark", ""),
+        lambda: cached_predictor_streams(
+            chunk_size=payload["chunk_size"], **request
+        ),
     )
 
 
@@ -217,7 +238,7 @@ def one_level_pattern_statistics(
         statistics = {}
         for name in config.benchmarks:
             observer = CIRTableObserver(
-                config.cir_bits, 1 << config.ct_index_bits, init_patterns
+                config.cir_bits, index_function.table_entries, init_patterns
             )
             fold = _fold_chunk_statistics(
                 config,
@@ -252,12 +273,16 @@ def _maybe_gcirs(
 
 def two_level_pattern_statistics(
     config: ExperimentConfig,
-    first_index_kind: str,
+    first_index_kind: str = "pc_xor_bhr",
     second_use_pc: bool = False,
     second_use_bhr: bool = False,
+    first_index_function: Optional[IndexFunction] = None,
 ) -> Dict[str, BucketStatistics]:
     """Second-level CIR-pattern statistics of a two-level mechanism."""
-    first_index = make_index(first_index_kind, config.ct_index_bits)
+    if first_index_function is None:
+        first_index = make_index(first_index_kind, config.ct_index_bits)
+    else:
+        first_index = first_index_function
     init = ones_init(config)
     if config.chunk_size is not None:
         statistics = {}
@@ -265,7 +290,7 @@ def two_level_pattern_statistics(
             observer = TwoLevelObserver(
                 level1_cir_bits=config.cir_bits,
                 level2_cir_bits=config.cir_bits,
-                table_entries=1 << config.ct_index_bits,
+                table_entries=first_index.table_entries,
                 second_use_pc=second_use_pc,
                 second_use_bhr=second_use_bhr,
                 level1_init=init,
@@ -316,15 +341,19 @@ def resetting_counter_statistics(
     maximum: int = 16,
     index_kind: str = "pc_xor_bhr",
     ct_index_bits: Optional[int] = None,
+    index_function: Optional[IndexFunction] = None,
 ) -> Dict[str, BucketStatistics]:
     """Resetting-counter bucket statistics (buckets = counter values)."""
-    if ct_index_bits is None:
-        ct_index_bits = config.ct_index_bits
-    index_function = make_index(index_kind, ct_index_bits)
+    if index_function is None:
+        if ct_index_bits is None:
+            ct_index_bits = config.ct_index_bits
+        index_function = make_index(index_kind, ct_index_bits)
     if config.chunk_size is not None:
         statistics = {}
         for name in config.benchmarks:
-            observer = ResettingCounterObserver(maximum, 1 << ct_index_bits)
+            observer = ResettingCounterObserver(
+                maximum, index_function.table_entries
+            )
             fold = _fold_chunk_statistics(
                 config,
                 maximum + 1,
@@ -349,14 +378,16 @@ def saturating_counter_statistics(
     config: ExperimentConfig,
     maximum: int = 16,
     index_kind: str = "pc_xor_bhr",
+    index_function: Optional[IndexFunction] = None,
 ) -> Dict[str, BucketStatistics]:
     """Saturating-counter bucket statistics (buckets = counter values)."""
-    index_function = make_index(index_kind, config.ct_index_bits)
+    if index_function is None:
+        index_function = make_index(index_kind, config.ct_index_bits)
     if config.chunk_size is not None:
         statistics = {}
         for name in config.benchmarks:
             observer = SaturatingCounterObserver(
-                maximum, 1 << config.ct_index_bits
+                maximum, index_function.table_entries
             )
             fold = _fold_chunk_statistics(
                 config,
@@ -375,7 +406,7 @@ def saturating_counter_statistics(
             indices,
             streams.correct,
             maximum=maximum,
-            table_entries=1 << config.ct_index_bits,
+            table_entries=index_function.table_entries,
         )
         statistics[name] = BucketStatistics.from_streams(
             values, streams.correct, num_buckets=maximum + 1
@@ -431,3 +462,135 @@ def per_benchmark_map(
         name: build(name, streams)
         for name, streams in suite_streams(config).items()
     }
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """A whole experiment grid submitted as one unit.
+
+    ``specs`` lists the grid points in result order; ``config`` supplies
+    the suite, the predictor geometry, and the execution knobs (engine,
+    jobs, chunk size).  :func:`run_sweep` returns one per-benchmark
+    statistics dict per spec, bit-identical for either engine.
+    """
+
+    config: ExperimentConfig
+    specs: Tuple[SweepSpec, ...]
+
+
+def sweep_grid(
+    config: ExperimentConfig, specs: Sequence[SweepSpec]
+) -> List[Dict[str, BucketStatistics]]:
+    """Evaluate a grid of confidence-table specs over the config's suite."""
+    return run_sweep(SweepRequest(config=config, specs=tuple(specs)))
+
+
+def run_sweep(request: SweepRequest) -> List[Dict[str, BucketStatistics]]:
+    """Dispatch one :class:`SweepRequest` to the configured engine.
+
+    Singleton grids always take the per-config path — there is nothing to
+    fuse, and the per-config helpers already carry their own caching.
+    """
+    config = request.config
+    specs = request.specs
+    if not specs:
+        return []
+    if config.engine == "per-config" or len(specs) == 1:
+        return [_per_config_spec_statistics(config, spec) for spec in specs]
+    return _batched_grid_statistics(config, specs)
+
+
+def _per_config_spec_statistics(
+    config: ExperimentConfig, spec: SweepSpec
+) -> Dict[str, BucketStatistics]:
+    """One grid point through the per-config statistics helpers.
+
+    ``cir_bits`` is cache-exempt (never part of a stream key), so scaling
+    it to the spec width re-reads exactly the same cached streams.
+    """
+    if spec.kind == PATTERN:
+        return one_level_pattern_statistics(
+            config.scaled(cir_bits=spec.width),
+            init_patterns=spec.init,
+            index_function=spec.index_function,
+        )
+    if spec.kind == RESETTING:
+        return resetting_counter_statistics(
+            config, maximum=spec.width, index_function=spec.index_function
+        )
+    if spec.kind == SATURATING:
+        return saturating_counter_statistics(
+            config, maximum=spec.width, index_function=spec.index_function
+        )
+    return two_level_pattern_statistics(
+        config.scaled(cir_bits=spec.width),
+        second_use_pc=spec.second_use_pc,
+        second_use_bhr=spec.second_use_bhr,
+        first_index_function=spec.index_function,
+    )
+
+
+def _monolithic_chunk(streams: PredictorStreams, needs_gcir: bool) -> StreamChunk:
+    """Wrap full predictor streams as one chunk for the grid observer."""
+    if needs_gcir:
+        gcirs = streams.gcirs
+    else:
+        gcirs = np.zeros(streams.num_branches, dtype=np.int64)
+    return StreamChunk(
+        trace_name=streams.trace_name,
+        start=0,
+        correct=streams.correct,
+        bhrs=streams.bhrs,
+        pcs=streams.pcs,
+        gcirs=gcirs,
+    )
+
+
+def _batched_grid_statistics(
+    config: ExperimentConfig, specs: Tuple[SweepSpec, ...]
+) -> List[Dict[str, BucketStatistics]]:
+    """The batched engine: one fused pass per benchmark for a whole grid.
+
+    Results are content-keyed per (stream request, grid digest) in the
+    sweep tier of the cache, so repeat figure runs skip both the sweep
+    and the fold.  Missing benchmarks warm the stream tiers through
+    :func:`suite_streams` first (pool-accelerated when ``jobs > 1``),
+    then fold serially — the fold is cheap next to the sweep.
+    """
+    grid = grid_digest(specs)
+    per_spec: List[Dict[str, BucketStatistics]] = [{} for _ in specs]
+    keys = {}
+    missing: List[str] = []
+    for name in config.benchmarks:
+        key = sweep_result_key(grid=grid, **_stream_request(config, name))
+        keys[name] = key
+        cached = load_sweep_results(key)
+        if cached is not None and len(cached) == len(specs):
+            for position, stats in enumerate(cached):
+                per_spec[position][name] = stats
+        else:
+            missing.append(name)
+    if missing:
+        if config.jobs > 1 and len(missing) > 1:
+            # Pool-accelerate the stream sweeps (the expensive part);
+            # chunked runs warm the per-chunk disk tier the same way.
+            suite_streams(config.scaled(benchmarks=tuple(missing)))
+        for name in missing:
+            observer = GridObserver(specs)
+            observability.increment("batched.grid_sweeps")
+            with observability.timed("batched.grid_sweep_seconds"):
+                if config.chunk_size is None:
+                    streams = cached_predictor_streams(
+                        chunk_size=None, **_stream_request(config, name)
+                    )
+                    observer.observe(
+                        _monolithic_chunk(streams, observer.needs_gcir)
+                    )
+                else:
+                    for chunk in suite_stream_chunks(config, name):
+                        observer.observe(chunk)
+            statistics = observer.statistics()
+            store_sweep_results(keys[name], statistics)
+            for position, stats in enumerate(statistics):
+                per_spec[position][name] = stats
+    return per_spec

@@ -18,7 +18,7 @@ parallel workers.  Cache traffic is counted through
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -33,22 +33,35 @@ from repro.sim.chunked import (
 from repro.sim.diskcache import (
     ChunkStreamKey,
     StreamKey,
+    SweepKey,
     cache_enabled,
     chunk_entry_path,
     entry_path,
     load_cached_chunk,
     load_cached_streams,
+    load_cached_sweep,
     store_cached_chunk,
     store_cached_streams,
+    store_cached_sweep,
 )
 from repro.sim.fast import PredictorStreams, predictor_streams
 from repro.traces.trace import Trace
 from repro.workloads.ibs import DEFAULT_TRACE_LENGTH, load_benchmark
 
+if TYPE_CHECKING:  # analysis imports sim; keep the runtime edge one-way
+    from repro.analysis.buckets import BucketStatistics
+
 #: Upper bound on distinct sweeps kept in process memory.
 MEMORY_TIER_MAXSIZE = 128
 
+#: Upper bound on distinct batched grid results kept in process memory.
+#: Entries are per-spec bucket statistics — a few KiB each, so a larger
+#: budget than the stream tier would buy nothing.
+SWEEP_MEMORY_TIER_MAXSIZE = 128
+
 _memory: "OrderedDict[StreamKey, PredictorStreams]" = OrderedDict()
+
+_sweep_memory: "OrderedDict[SweepKey, List[BucketStatistics]]" = OrderedDict()
 
 
 def _load_any_benchmark(name: str, length: int, seed: int) -> Trace:
@@ -296,15 +309,70 @@ def cached_predictor_streams(
     return streams
 
 
+def sweep_result_key(
+    grid: str,
+    benchmark: str,
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    entries: int = 1 << 16,
+    history_bits: int = 16,
+    bhr_record_bits: int = 16,
+    gcir_bits: int = 16,
+) -> SweepKey:
+    """The cache key of one batched grid sweep over one benchmark.
+
+    ``grid`` is the spec-grid content digest
+    (:func:`repro.sim.batched.grid_digest`); the remaining fields match
+    :func:`stream_key`, so a sweep entry depends on exactly the streams
+    it consumed plus the grid it evaluated.
+    """
+    return SweepKey(
+        benchmark=benchmark,
+        length=length,
+        seed=seed,
+        entries=entries,
+        history_bits=history_bits,
+        bhr_record_bits=bhr_record_bits,
+        gcir_bits=gcir_bits,
+        grid=grid,
+    )
+
+
+def load_sweep_results(key: SweepKey) -> "Optional[List[BucketStatistics]]":
+    """Memory-then-disk lookup of one benchmark's batched grid statistics."""
+    cached = _sweep_memory.get(key)
+    if cached is not None:
+        _sweep_memory.move_to_end(key)
+        observability.increment("sweep_cache.memory_hits")
+        return list(cached)
+    loaded = load_cached_sweep(key)
+    if loaded is not None:
+        _sweep_memory[key] = list(loaded)
+        while len(_sweep_memory) > SWEEP_MEMORY_TIER_MAXSIZE:
+            _sweep_memory.popitem(last=False)
+    return loaded
+
+
+def store_sweep_results(
+    key: SweepKey, statistics: "Sequence[BucketStatistics]"
+) -> None:
+    """Publish one benchmark's batched grid statistics to both tiers."""
+    _sweep_memory[key] = list(statistics)
+    while len(_sweep_memory) > SWEEP_MEMORY_TIER_MAXSIZE:
+        _sweep_memory.popitem(last=False)
+    store_cached_sweep(key, statistics)
+
+
 def memory_tier_info() -> Dict[str, int]:
     """Size/capacity of the in-process tier (for `repro cache stats`)."""
     return {"entries": len(_memory), "maxsize": MEMORY_TIER_MAXSIZE}
 
 
 def clear_stream_cache() -> None:
-    """Drop the in-process memo (mainly for tests).
+    """Drop the in-process memos (streams + sweep results; mainly for tests).
 
     The persistent tier is cleared separately with
     :func:`repro.sim.diskcache.clear_disk_cache`.
     """
     _memory.clear()
+    _sweep_memory.clear()

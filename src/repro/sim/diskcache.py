@@ -40,7 +40,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -48,6 +48,9 @@ from repro import observability
 from repro.sim.chunked import GshareState, StreamChunk
 from repro.sim.fast import PredictorStreams
 from repro.testing import faults
+
+if TYPE_CHECKING:  # analysis imports sim; keep the runtime edge one-way
+    from repro.analysis.buckets import BucketStatistics
 
 #: Bump when the on-disk layout or the sweep semantics change; old
 #: entries then simply miss (different digest) instead of being misread.
@@ -61,6 +64,7 @@ CACHE_DISABLE_ENV = "REPRO_CACHE_DISABLE"
 
 _STREAMS_SUBDIR = "predictor_streams"
 _CHUNKS_SUBDIR = "stream_chunks"
+_SWEEPS_SUBDIR = "sweep_results"
 _PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs")
 _CHUNK_PAYLOAD_ARRAYS = ("correct", "bhrs", "pcs", "gcirs")
 
@@ -106,6 +110,20 @@ class ChunkStreamKey(StreamKey):
 
     chunk_size: int = 0
     chunk_index: int = 0
+
+
+@dataclass(frozen=True)
+class SweepKey(StreamKey):
+    """Value-based identity of one batched grid sweep over one benchmark.
+
+    Extends :class:`StreamKey` with the content digest of the whole spec
+    grid (:func:`repro.sim.batched.grid_digest`), so two grids that
+    differ in any spec field — kind, index function, width, init
+    patterns, level-2 wiring, or spec order — never alias, while repeat
+    runs of the same figure hit without re-folding a single bucket.
+    """
+
+    grid: str = ""
 
 
 def cache_enabled() -> bool:
@@ -387,6 +405,146 @@ def load_cached_chunk(
     return chunk, state
 
 
+def sweep_cache_dir() -> Path:
+    """Directory holding the batched sweep-result entries."""
+    return cache_root() / _SWEEPS_SUBDIR
+
+
+def sweep_entry_path(key: SweepKey) -> Path:
+    """Cache file path for sweep ``key``."""
+    name = (
+        f"{key.benchmark}-L{key.length}-s{key.seed}"
+        f"-g{key.grid[:8]}-{key.digest()[:16]}.npz"
+    )
+    return sweep_cache_dir() / name
+
+
+def _sweep_checksum(
+    counts: np.ndarray, mispredicts: np.ndarray, buckets: np.ndarray
+) -> str:
+    """SHA-256 over the packed per-spec bucket statistics."""
+    digest = hashlib.sha256()
+    for label, array in (
+        ("counts", counts),
+        ("mispredicts", mispredicts),
+        ("buckets", buckets),
+    ):
+        digest.update(label.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(np.ascontiguousarray(array).tobytes())
+    return digest.hexdigest()
+
+
+def store_cached_sweep(
+    key: SweepKey, statistics: "Sequence[BucketStatistics]"
+) -> Optional[Path]:
+    """Persist one benchmark's per-spec grid statistics under ``key``.
+
+    The per-spec bucket arrays are packed into one (counts, mispredicts)
+    pair plus a bucket-count vector, so ragged grids (mixed widths/table
+    sizes) serialize without object arrays.  Same atomicity/retry story
+    as the stream tiers.
+    """
+    if not cache_enabled():
+        return None
+    path = sweep_entry_path(key)
+    buckets = np.array(
+        [stats.num_buckets for stats in statistics], dtype=np.int64
+    )
+    counts = (
+        np.concatenate([stats.counts for stats in statistics])
+        if statistics
+        else np.zeros(0, dtype=np.float64)
+    )
+    mispredicts = (
+        np.concatenate([stats.mispredicts for stats in statistics])
+        if statistics
+        else np.zeros(0, dtype=np.float64)
+    )
+    meta = {
+        "key": key.describe(),
+        "checksum": _sweep_checksum(counts, mispredicts, buckets),
+    }
+
+    def _write() -> None:
+        faults.inject_store_oserror(path.name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    counts=counts,
+                    mispredicts=mispredicts,
+                    buckets=buckets,
+                    meta=np.array(json.dumps(meta, sort_keys=True)),
+                )
+            faults.crash_point("store_sweep", path.name)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    if not _store_with_retry(_write):
+        observability.increment("sweep_cache.store_errors")
+        return None
+    observability.increment("sweep_cache.stores")
+    return path
+
+
+def load_cached_sweep(key: SweepKey) -> "Optional[List[BucketStatistics]]":
+    """Load the grid statistics for sweep ``key``, or None on miss.
+
+    Mirrors :func:`load_cached_streams`: corrupt entries are dropped
+    best-effort and reported as misses.
+    """
+    from repro.analysis.buckets import BucketStatistics
+
+    if not cache_enabled():
+        return None
+    path = sweep_entry_path(key)
+    if not path.exists():
+        observability.increment("sweep_cache.disk_misses")
+        return None
+    try:
+        faults.inject_load_oserror(path.name)
+        faults.corrupt_entry(path)
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            counts = archive["counts"]
+            mispredicts = archive["mispredicts"]
+            buckets = archive["buckets"]
+        if meta["key"] != key.describe():
+            raise ValueError("sweep cache entry key mismatch")
+        if meta["checksum"] != _sweep_checksum(counts, mispredicts, buckets):
+            raise ValueError("sweep cache entry checksum mismatch")
+        if int(buckets.sum()) != counts.shape[0]:
+            raise ValueError("sweep cache entry shape mismatch")
+        statistics = []
+        start = 0
+        for width in buckets.tolist():
+            stop = start + int(width)
+            statistics.append(
+                BucketStatistics(counts[start:stop], mispredicts[start:stop])
+            )
+            start = stop
+    except Exception:
+        observability.increment("sweep_cache.disk_corrupt")
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    observability.increment("sweep_cache.disk_hits")
+    return statistics
+
+
 @dataclass(frozen=True)
 class DiskCacheStats:
     """Summary of the on-disk cache state."""
@@ -413,7 +571,7 @@ class DiskCacheStats:
 
 
 def disk_cache_stats() -> DiskCacheStats:
-    """Entry count and footprint across both cache tiers (full + chunk).
+    """Entry count and footprint across all cache tiers (full + chunk + sweep).
 
     ``.tmp`` leftovers are counted separately (and included in the total
     footprint), so ``repro cache stats`` reports exactly what ``clear``
@@ -422,7 +580,7 @@ def disk_cache_stats() -> DiskCacheStats:
     entries = 0
     total_bytes = 0
     stale_tmp = 0
-    for directory in (stream_cache_dir(), chunk_cache_dir()):
+    for directory in (stream_cache_dir(), chunk_cache_dir(), sweep_cache_dir()):
         if not directory.is_dir():
             continue
         for item in directory.iterdir():
@@ -448,7 +606,7 @@ def disk_cache_stats() -> DiskCacheStats:
 def clear_disk_cache() -> int:
     """Delete every cache entry (and stray temp files); returns entries removed."""
     removed = 0
-    for directory in (stream_cache_dir(), chunk_cache_dir()):
+    for directory in (stream_cache_dir(), chunk_cache_dir(), sweep_cache_dir()):
         if not directory.is_dir():
             continue
         for item in directory.iterdir():

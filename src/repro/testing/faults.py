@@ -180,6 +180,22 @@ def inject_worker_faults(task_key: str) -> None:
         time.sleep(spec.slow_seconds)
 
 
+def inject_serial_faults(task_key: str) -> None:
+    """Task-entry hook for the in-parent degraded serial path.
+
+    The serial fallback is the path of last resort, so the parent must
+    survive it: ``worker_crash`` is suppressed (not drawn, not counted)
+    instead of killing the process, while ``slow_task`` still stalls —
+    serial execution has no deadline, and the stall keeps the path's
+    timing profile honest with the pool workers it replaces.
+    """
+    spec = current_spec()
+    if spec is None:
+        return
+    if should_inject("slow_task", task_key, stable=True):
+        time.sleep(spec.slow_seconds)
+
+
 def inject_store_oserror(key: str = "") -> None:
     """Raise ``OSError`` inside a cache store when the spec says so."""
     if should_inject("store_oserror", key):

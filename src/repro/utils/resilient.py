@@ -28,9 +28,12 @@ export shows exactly how a degraded run got its results.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
 from repro import observability
+from repro.testing import faults
+
+T = TypeVar("T")
 
 #: Base of the exponential retry backoff (seconds).
 RETRY_BACKOFF_SECONDS = 0.05
@@ -40,6 +43,33 @@ MAX_BACKOFF_SECONDS = 2.0
 
 #: Pool rebuilds tolerated before degrading the remainder to serial.
 MAX_POOL_REBUILDS = 2
+
+
+def serial_task(task_key: str, run: Callable[[], T]) -> T:
+    """Run one degraded-serial task with pool-worker metrics parity.
+
+    A pool worker starts from a clean metrics registry, runs the fault
+    hooks, and ships its snapshot back for exactly one merge into the
+    parent.  The in-parent serial fallback must look identical to
+    ``--profile`` consumers, so this helper reproduces that lifecycle
+    in-process: parent counters are set aside (never bleeding into the
+    task's delta), the serial fault hooks run, and the task's own delta
+    is merged back alongside the restored parent state.  A failing task
+    merges nothing — matching a worker that died before reporting.
+    """
+    parent = observability.snapshot()
+    observability.reset_metrics()
+    delta = None
+    try:
+        faults.inject_serial_faults(task_key)
+        result = run()
+        delta = observability.snapshot()
+        return result
+    finally:
+        observability.reset_metrics()
+        observability.merge_snapshot(parent)
+        if delta is not None:
+            observability.merge_snapshot(delta)
 
 
 def resilient_map(

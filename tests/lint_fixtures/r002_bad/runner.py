@@ -16,6 +16,11 @@ class ChunkStreamKey(StreamKey):
     chunk_index: int
 
 
+@dataclass(frozen=True)
+class SweepKey:  # detached from StreamKey: drops the stream fields
+    grid: str
+
+
 def _stream_request(config, benchmark):
     return {
         "benchmark": benchmark,

@@ -97,18 +97,24 @@ def test_r002_binds_anchors_to_nearest_funnel():
         [FIXTURES / "r002_bad", FIXTURES / "r002_ok"],
         select=frozenset({"R002"}),
     )
-    assert len(result.findings) == 1
-    finding = result.findings[0]
-    assert "speculative_depth" in finding.message
-    assert "r002_bad" in finding.path
+    assert len(result.findings) == 2
+    assert all("r002_bad" in finding.path for finding in result.findings)
+    messages = " ".join(finding.message for finding in result.findings)
+    assert "speculative_depth" in messages
+    assert "SweepKey" in messages
 
 
 def test_r002_names_the_unhashed_field():
     result = lint("r002_bad", "R002")
-    assert len(result.findings) == 1
-    finding = result.findings[0]
-    assert "speculative_depth" in finding.message
-    assert finding.path.endswith("config.py")
+    by_file = {Path(finding.path).name: finding for finding in result.findings}
+    assert "speculative_depth" in by_file["config.py"].message
+
+
+def test_r002_flags_detached_sweep_key():
+    result = lint("r002_bad", "R002")
+    by_file = {Path(finding.path).name: finding for finding in result.findings}
+    finding = by_file["runner.py"]
+    assert "SweepKey must subclass StreamKey" in finding.message
 
 
 def test_r002_flags_unpopulated_key_field(tmp_path):

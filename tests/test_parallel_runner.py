@@ -178,11 +178,12 @@ class TestCliIntegration:
         main(["run", "fig5", "--length", "3000", "--benchmarks", "jpeg_play"])
         capsys.readouterr()
 
+        # One predictor-stream entry plus one batched sweep-result entry.
         assert main(["cache", "stats"]) == 0
         stats_output = capsys.readouterr().out
-        assert "entries: 1" in stats_output
+        assert "entries: 2" in stats_output
 
         assert main(["cache", "clear"]) == 0
-        assert "removed 1 cache entry" in capsys.readouterr().out
+        assert "removed 2 cache entries" in capsys.readouterr().out
         assert main(["cache", "stats"]) == 0
         assert "entries: 0" in capsys.readouterr().out
