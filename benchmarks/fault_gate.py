@@ -16,7 +16,6 @@ Usage (CI)::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 import tempfile
@@ -88,20 +87,26 @@ def main(argv=None) -> int:
     taxonomy = {
         name: counters.get(name, 0) for name in observability.ERROR_TAXONOMY
     }
-    report = {
-        "schema": "repro-fault-gate/1",
-        "spec": args.spec,
-        "experiments": ids,
-        "jobs": args.jobs,
-        "chunk_size": args.chunk_size,
-        "divergent": divergent,
-        "passed": not divergent,
-        "taxonomy": taxonomy,
-    }
     if args.out:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(report, handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        from repro.bench import write_bench_report
+
+        # The fault gate is binary (reports diverged or they did not),
+        # so it publishes no banded headline metric.
+        write_bench_report(
+            args.out,
+            kind="fault",
+            passed=not divergent,
+            headline={},
+            metrics={
+                "spec": args.spec,
+                "experiments": ids,
+                "jobs": args.jobs,
+                "chunk_size": args.chunk_size,
+                "divergent": divergent,
+                "taxonomy": taxonomy,
+            },
+            generated_by="benchmarks/fault_gate.py",
+        )
     for name, value in taxonomy.items():
         print(f"{name} = {value}")
     if divergent:

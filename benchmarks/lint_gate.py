@@ -23,11 +23,11 @@ way, in the same spirit as the other ``BENCH_*.json`` gate reports.
 from __future__ import annotations
 
 import argparse
-import json
 import time
 from pathlib import Path
 
 from repro.analysis.lint import run_lint
+from repro.bench import headline_metric, write_bench_report
 
 #: Wall-time budget for one full lint pass over the tree.
 WALL_LIMIT_SECONDS = 10.0
@@ -47,22 +47,22 @@ def run_gate(out_path: str) -> int:
     fast = wall_seconds <= WALL_LIMIT_SECONDS
     passed = clean and fast
 
-    report = {
-        "schema": "repro-bench-lint/1",
-        "created_unix": time.time(),  # reprolint: disable=R001
-        "target": str(LINT_TARGET),
-        "files_checked": result.files_checked,
-        "rules_run": result.rules_run,
-        "findings": len(result.findings),
-        "suppressed": result.suppressed,
-        "wall_limit_seconds": WALL_LIMIT_SECONDS,
-        "wall_seconds": wall_seconds,
-        "clean": clean,
-        "passed": passed,
-    }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_report(
+        out_path,
+        kind="lint",
+        passed=passed,
+        headline={"wall_seconds": headline_metric(wall_seconds, "lower")},
+        metrics={
+            "target": str(LINT_TARGET),
+            "files_checked": result.files_checked,
+            "rules_run": result.rules_run,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "wall_limit_seconds": WALL_LIMIT_SECONDS,
+            "clean": clean,
+        },
+        generated_by="benchmarks/lint_gate.py",
+    )
 
     print(
         f"lint gate: {result.files_checked} file(s), {len(result.rules_run)} rule(s), "

@@ -26,7 +26,6 @@ way, in the same spirit as ``bench_timings.json``.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from typing import Iterator
@@ -34,6 +33,7 @@ from typing import Iterator
 import numpy as np
 
 from repro import observability
+from repro.bench import headline_metric, write_bench_report
 from repro.analysis.buckets import BucketStatistics
 from repro.sim.chunked import CIRTableObserver, sweep_stream_chunks
 from repro.traces import Trace
@@ -108,26 +108,27 @@ def run_gate(out_path: str) -> int:
     growth = max(0, peak_rss - baseline_rss)
     passed = growth <= RSS_GROWTH_LIMIT_BYTES
 
-    report = {
-        "schema": "repro-bench-memory/1",
-        "created_unix": time.time(),
-        "total_branches": TOTAL_BRANCHES,
-        "chunk_size": CHUNK_SIZE,
-        "chunks": chunks_done,
-        "chunk_budget_bytes": CHUNK_BUDGET_BYTES,
-        "rss_growth_limit_bytes": RSS_GROWTH_LIMIT_BYTES,
-        "baseline_rss_bytes": baseline_rss,
-        "peak_rss_bytes": peak_rss,
-        "rss_growth_bytes": growth,
-        "total_mispredicts": int(statistics.mispredicts.sum()),
-        "total_branches_folded": int(statistics.counts.sum()),
-        "wall_seconds": time.perf_counter() - started,
-        "passed": passed,
-        "metrics": observability.snapshot(),
-    }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    total_branches_folded = int(statistics.counts.sum())
+    write_bench_report(
+        out_path,
+        kind="memory",
+        passed=passed,
+        headline={"rss_growth_bytes": headline_metric(growth, "lower")},
+        metrics={
+            "total_branches": TOTAL_BRANCHES,
+            "chunk_size": CHUNK_SIZE,
+            "chunks": chunks_done,
+            "chunk_budget_bytes": CHUNK_BUDGET_BYTES,
+            "rss_growth_limit_bytes": RSS_GROWTH_LIMIT_BYTES,
+            "baseline_rss_bytes": baseline_rss,
+            "peak_rss_bytes": peak_rss,
+            "total_mispredicts": int(statistics.mispredicts.sum()),
+            "total_branches_folded": total_branches_folded,
+            "wall_seconds": time.perf_counter() - started,
+            "observability": observability.snapshot(),
+        },
+        generated_by="benchmarks/memory_gate.py",
+    )
 
     print(
         f"memory gate: {TOTAL_BRANCHES:,} branches in {chunks_done} chunks of "
@@ -136,9 +137,9 @@ def run_gate(out_path: str) -> int:
         f"limit {RSS_GROWTH_LIMIT_BYTES / 2**20:.1f} MiB) -> "
         f"{'PASS' if passed else 'FAIL'}"
     )
-    if report["total_branches_folded"] != TOTAL_BRANCHES:
+    if total_branches_folded != TOTAL_BRANCHES:
         print(
-            f"memory gate: folded {report['total_branches_folded']:,} of "
+            f"memory gate: folded {total_branches_folded:,} of "
             f"{TOTAL_BRANCHES:,} branches",
             file=sys.stderr,
         )

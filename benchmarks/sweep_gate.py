@@ -17,19 +17,20 @@ timed.
 
 Usage (exits non-zero on gate failure)::
 
-    PYTHONPATH=src python benchmarks/sweep_gate.py [--out BENCH_8.json]
+    PYTHONPATH=src python benchmarks/sweep_gate.py [--out BENCH_sweep.json]
 
-Writes a ``BENCH_8.json`` report either way with wall time, peak RSS,
-per-experiment cache hit rates, and the measured speedup factors.
+Writes a ``repro-bench/1`` report (:mod:`repro.bench`) either way with
+wall time, peak RSS, per-experiment cache hit rates, and the measured
+speedup factors; ``speedup`` is the headline regression metric.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 from repro import observability
+from repro.bench import headline_metric, write_bench_report
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import get_experiment
 from repro.sim.cache import clear_stream_cache
@@ -120,24 +121,24 @@ def run_gate(out_path: str) -> int:
     passed = speedup >= SPEEDUP_FLOOR
     peak_rss = observability.record_peak_rss()
 
-    report = {
-        "schema": "repro-bench-sweep/2",
-        "created_unix": time.time(),
-        "benchmarks": len(CONFIG.benchmarks),
-        "trace_length": CONFIG.trace_length,
-        "chunk_size": CONFIG.chunk_size,
-        "experiments": experiments,
-        "perconfig_seconds": total_perconfig,
-        "batched_seconds": total_batched,
-        "speedup": speedup,
-        "speedup_floor": SPEEDUP_FLOOR,
-        "peak_rss_bytes": peak_rss,
-        "wall_seconds": time.perf_counter() - started,
-        "passed": passed,
-    }
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(report, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    write_bench_report(
+        out_path,
+        kind="sweep",
+        passed=passed,
+        headline={"speedup": headline_metric(speedup, "higher")},
+        metrics={
+            "benchmarks": len(CONFIG.benchmarks),
+            "trace_length": CONFIG.trace_length,
+            "chunk_size": CONFIG.chunk_size,
+            "experiments": experiments,
+            "perconfig_seconds": total_perconfig,
+            "batched_seconds": total_batched,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "peak_rss_bytes": peak_rss,
+            "wall_seconds": time.perf_counter() - started,
+        },
+        generated_by="benchmarks/sweep_gate.py",
+    )
 
     for experiment_id, row in experiments.items():
         print(
@@ -158,8 +159,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out",
-        default="BENCH_8.json",
-        help="report path (default: BENCH_8.json)",
+        default="BENCH_sweep.json",
+        help="report path (default: BENCH_sweep.json)",
     )
     args = parser.parse_args(argv)
     return run_gate(args.out)

@@ -14,6 +14,7 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
 from repro.analysis.lint.model import Finding, Project, severity_rank
 from repro.analysis.lint.rules import (
     api_stability,
+    atomic_claim,
     cache_key,
     determinism,
     numeric_width,
@@ -41,6 +42,7 @@ _RULE_MODULES = (
     numeric_width,
     observability,
     api_stability,
+    atomic_claim,
 )
 
 

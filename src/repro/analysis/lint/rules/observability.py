@@ -1,8 +1,8 @@
 """R005 — observability discipline.
 
 The ``--profile`` export zero-fills every counter named in
-``ERROR_TAXONOMY`` so dashboards and the fault-injection CI gate can key
-on them unconditionally.  A taxonomy entry nothing ever increments is a
+``ERROR_TAXONOMY`` and ``FABRIC_TAXONOMY`` so dashboards and the
+fault-injection / fabric CI gates can key on them unconditionally.  A taxonomy entry nothing ever increments is a
 counter that reads zero *by construction* — the gate would silently pass
 on a code path that stopped being counted.  The rule requires every
 declared taxonomy name to have at least one literal
@@ -21,21 +21,21 @@ RULE_ID = "R005"
 SEVERITY = "warning"
 SUMMARY = "observability discipline: every ERROR_TAXONOMY counter has an increment site"
 
-_TAXONOMY_NAME = "ERROR_TAXONOMY"
+_TAXONOMY_NAMES = frozenset({"ERROR_TAXONOMY", "FABRIC_TAXONOMY"})
 _INCREMENT_NAMES = frozenset({"increment"})
 
 
 def _taxonomy_entries(
     project: Project,
 ) -> List[Tuple[ParsedFile, ast.Constant]]:
-    """Every string constant inside an ``ERROR_TAXONOMY = (...)`` literal."""
+    """Every string constant inside a declared ``*_TAXONOMY = (...)`` literal."""
     entries: List[Tuple[ParsedFile, ast.Constant]] = []
     for parsed in project.iter_files():
         for node in ast.walk(parsed.tree):
             if not isinstance(node, ast.Assign):
                 continue
             if not any(
-                isinstance(target, ast.Name) and target.id == _TAXONOMY_NAME
+                isinstance(target, ast.Name) and target.id in _TAXONOMY_NAMES
                 for target in node.targets
             ):
                 continue

@@ -1,0 +1,86 @@
+"""The unified ``BENCH_*.json`` envelope every perf gate writes.
+
+Before this module each gate invented its own top-level schema
+(``repro-bench-sweep/2``, ``repro-bench-memory/1``, ...), which made the
+checked-in trajectory impossible to diff mechanically: nothing said
+which numbers were *gates* (comparable release to release) and which
+were incidental measurements.  ``repro-bench/1`` fixes that with one
+envelope:
+
+* ``kind`` — which gate produced the report (``sweep``, ``memory``,
+  ``fault``, ``lint``, ``fabric``);
+* ``headline`` — the small set of named metrics that participate in
+  regression comparison, each carrying its own ``direction``
+  (``"higher"`` or ``"lower"`` is better) so a comparer needs no
+  per-kind knowledge;
+* ``metrics`` — everything else the gate measured, free-form per kind,
+  never compared.
+
+:mod:`repro.bench.compare` consumes both this envelope and the legacy
+schemas (normalizing the latter), so the checked-in trajectory stays
+readable all the way back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+#: The unified bench envelope schema identifier.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Valid ``direction`` values of a headline metric.
+DIRECTIONS = ("higher", "lower")
+
+
+def headline_metric(value: float, direction: str) -> Dict[str, object]:
+    """One comparable metric: its value and which way 'better' points."""
+    if direction not in DIRECTIONS:
+        raise ValueError(
+            f"headline direction must be one of {DIRECTIONS}, got {direction!r}"
+        )
+    return {"value": float(value), "direction": direction}
+
+
+def write_bench_report(
+    path: Union[str, Path],
+    *,
+    kind: str,
+    passed: bool,
+    headline: Mapping[str, Mapping[str, object]],
+    metrics: Optional[Mapping[str, object]] = None,
+    generated_by: str = "",
+) -> Dict[str, object]:
+    """Write one ``repro-bench/1`` report; returns the envelope written.
+
+    ``headline`` maps metric names to :func:`headline_metric` dicts and
+    is validated here so a malformed gate fails at write time, not at
+    compare time a PR later.
+    """
+    for name, metric in headline.items():
+        if set(metric) != {"value", "direction"}:
+            raise ValueError(
+                f"headline metric {name!r} must have exactly "
+                f"'value' and 'direction', got {sorted(metric)}"
+            )
+        if metric["direction"] not in DIRECTIONS:
+            raise ValueError(
+                f"headline metric {name!r} direction must be one of "
+                f"{DIRECTIONS}, got {metric['direction']!r}"
+            )
+        float(metric["value"])  # type: ignore[arg-type]
+    envelope: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "generated_by": generated_by,
+        "created_unix": time.time(),
+        "passed": bool(passed),
+        "headline": {name: dict(metric) for name, metric in headline.items()},
+        "metrics": dict(metrics or {}),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return envelope

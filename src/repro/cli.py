@@ -10,8 +10,13 @@ Usage examples::
     repro run fig5 --profile p.json  # ... exporting timers/cache counters
     repro run table1 --csv out.csv   # ... exporting the data series
     repro run-all --jobs 4           # all experiments over a process pool
+    repro run-all --shards 3 --shard-id 0   # join a 3-process run fabric
+    repro fabric launch --workers 3  # single-host fabric: spawn, wait, merge
+    repro fabric status              # per-unit fabric state
+    repro bench compare BENCH_8.json BENCH_9.json  # perf regression gate
+    repro bench table BENCH_*.json   # markdown perf-trajectory table
     repro suite                      # suite statistics (rates, sites)
-    repro cache stats                # persistent stream-cache footprint
+    repro cache stats                # persistent stream-cache footprint (per tier)
     repro apps dual-path             # run an application model
     repro apps dual-path --json      # ... as a JSON record on stdout
     repro trace gcc --length 50000 --out gcc.npz   # dump a trace
@@ -114,6 +119,101 @@ def _build_parser() -> argparse.ArgumentParser:
     run_all_parser.add_argument(
         "--profile", default=None, help="export timers/cache counters to JSON"
     )
+    run_all_parser.add_argument(
+        "--experiments", nargs="+", default=None, metavar="ID",
+        help="subset of experiment ids (default: every registered one)",
+    )
+    run_all_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="join a shared-cache fabric of this many cooperating "
+             "processes instead of running alone (see 'repro fabric')",
+    )
+    run_all_parser.add_argument(
+        "--shard-id", type=int, default=None,
+        help="this process's shard index in [0, --shards)",
+    )
+    run_all_parser.add_argument(
+        "--fabric-dir", default=None,
+        help="shared fabric directory (default: derived from the plan "
+             "digest under the cache root)",
+    )
+
+    fabric_parser = subparsers.add_parser(
+        "fabric",
+        help="sharded run fabric: launch/merge/inspect cooperating workers",
+    )
+    fabric_subparsers = fabric_parser.add_subparsers(
+        dest="fabric_action", required=True
+    )
+    launch_parser = fabric_subparsers.add_parser(
+        "launch", help="spawn N single-host workers, wait, print the merge"
+    )
+    launch_parser.add_argument("--workers", type=int, default=3)
+    worker_parser = fabric_subparsers.add_parser(
+        "worker", help="run one fabric shard (used by 'fabric launch')"
+    )
+    worker_parser.add_argument(
+        "--plan", default=None,
+        help="plan manifest written by 'fabric launch' (overrides config flags)",
+    )
+    worker_parser.add_argument("--shards", type=int, default=1)
+    worker_parser.add_argument("--shard-id", type=int, default=0)
+    worker_parser.add_argument("--ttl-seconds", type=float, default=None)
+    worker_parser.add_argument("--heartbeat-seconds", type=float, default=None)
+    worker_parser.add_argument("--poll-seconds", type=float, default=None)
+    worker_parser.add_argument(
+        "--no-steal", action="store_true",
+        help="static partition: only claim owned units, never take over "
+             "stale leases (benchmark attribution mode)",
+    )
+    worker_parser.add_argument(
+        "--phase", choices=["streams", "reports"], default=None,
+        help="restrict this worker pass to one unit kind",
+    )
+    merge_parser = fabric_subparsers.add_parser(
+        "merge", help="fold published report artifacts, print the serial text"
+    )
+    status_parser = fabric_subparsers.add_parser(
+        "status", help="per-unit fabric state: done / leased / pending"
+    )
+    for fabric_sub in (launch_parser, worker_parser, merge_parser, status_parser):
+        fabric_sub.add_argument("--length", type=int, default=None)
+        fabric_sub.add_argument("--seed", type=int, default=None)
+        fabric_sub.add_argument("--benchmarks", nargs="+", default=None)
+        fabric_sub.add_argument("--jobs", type=int, default=None)
+        fabric_sub.add_argument("--chunk-size", type=int, default=None)
+        fabric_sub.add_argument("--max-retries", type=int, default=None)
+        fabric_sub.add_argument("--task-timeout", type=float, default=None)
+        fabric_sub.add_argument("--engine", choices=list(ENGINES), default=None)
+        fabric_sub.add_argument(
+            "--experiments", nargs="+", default=None, metavar="ID",
+            help="subset of experiment ids (default: every registered one)",
+        )
+        fabric_sub.add_argument(
+            "--fabric-dir", default=None,
+            help="shared fabric directory (default: derived from the plan "
+                 "digest under the cache root)",
+        )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="perf-trajectory tools over BENCH_*.json reports"
+    )
+    bench_subparsers = bench_parser.add_subparsers(
+        dest="bench_action", required=True
+    )
+    compare_parser = bench_subparsers.add_parser(
+        "compare", help="gate NEW against OLD within a regression band"
+    )
+    compare_parser.add_argument("old", help="older BENCH_*.json")
+    compare_parser.add_argument("new", help="newer BENCH_*.json")
+    compare_parser.add_argument(
+        "--band", type=float, default=None,
+        help="fractional regression band (default 0.2 = 20%%)",
+    )
+    table_parser = bench_subparsers.add_parser(
+        "table", help="render the trajectory as a markdown table"
+    )
+    table_parser.add_argument("reports", nargs="+", help="BENCH_*.json paths")
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear the persistent predictor-stream cache"
@@ -121,7 +221,8 @@ def _build_parser() -> argparse.ArgumentParser:
     cache_parser.add_argument(
         "action",
         choices=["stats", "clear", "path"],
-        help="stats: footprint; clear: delete entries; path: print directory",
+        help="stats: per-tier footprint; clear: delete entries; "
+             "path: print directory",
     )
 
     suite_parser = subparsers.add_parser(
@@ -270,11 +371,70 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _experiment_ids(args: argparse.Namespace) -> List[str]:
+    """Requested experiment ids (validated), or the full registry order."""
+    requested = getattr(args, "experiments", None)
+    if not requested:
+        return [experiment.id for experiment in list_experiments()]
+    for experiment_id in requested:
+        try:
+            get_experiment(experiment_id)
+        except KeyError as error:
+            raise SystemExit(str(error).strip("'\"")) from None
+    return list(requested)
+
+
+def _fabric_options(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.fabric import FabricOptions
+
+    overrides = {}
+    if getattr(args, "shards", None) is not None:
+        overrides["shards"] = args.shards
+    if getattr(args, "shard_id", None) is not None:
+        overrides["shard_id"] = args.shard_id
+    if getattr(args, "fabric_dir", None):
+        overrides["fabric_dir"] = Path(args.fabric_dir)
+    if getattr(args, "ttl_seconds", None) is not None:
+        overrides["ttl_seconds"] = args.ttl_seconds
+    if getattr(args, "heartbeat_seconds", None) is not None:
+        overrides["heartbeat_seconds"] = args.heartbeat_seconds
+    if getattr(args, "poll_seconds", None) is not None:
+        overrides["poll_seconds"] = args.poll_seconds
+    if getattr(args, "no_steal", False):
+        overrides["no_steal"] = True
+    if getattr(args, "phase", None) is not None:
+        overrides["phase"] = args.phase
+    try:
+        return FabricOptions(**overrides)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
 def _command_run_all(args: argparse.Namespace) -> int:
     from repro.experiments import run_all_reports
 
     config = _config_from_args(args)
-    for report in run_all_reports(config):
+    ids = _experiment_ids(args)
+    if args.shards is not None or args.shard_id is not None:
+        # Fabric mode: compute through the shared-cache claim loop; any
+        # worker that observes the completed plan prints the merge, so a
+        # one-shard fabric run is byte-identical to the serial path.
+        from repro.fabric import merge_reports_text, run_worker
+        from repro.fabric.runtime import default_fabric_dir, fabric_complete
+
+        options = _fabric_options(args)
+        try:
+            run_worker(config, ids, options)
+        except (TimeoutError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        fabric_dir = options.fabric_dir or default_fabric_dir(config, ids)
+        if fabric_complete(config, ids, fabric_dir):
+            print(merge_reports_text(ids, fabric_dir), end="")
+        _maybe_write_profile(args, config)
+        return 0
+    for report in run_all_reports(config, experiment_ids=ids):
         print(f"=== {report.experiment_id}: {report.description}")
         print(report.text)
         print()
@@ -282,16 +442,98 @@ def _command_run_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fabric(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fabric import fabric_status, launch_fabric, run_worker
+    from repro.fabric.runtime import (
+        default_fabric_dir,
+        load_plan_manifest,
+        merge_reports_text,
+    )
+
+    if getattr(args, "plan", None):
+        config, ids = load_plan_manifest(Path(args.plan))
+    else:
+        config = _config_from_args(args)
+        ids = _experiment_ids(args)
+    options = _fabric_options(args)
+    fabric_dir = options.fabric_dir or default_fabric_dir(config, ids)
+    if args.fabric_action == "launch":
+        try:
+            merged = launch_fabric(
+                config,
+                ids,
+                workers=args.workers,
+                fabric_dir=fabric_dir,
+                options=options,
+            )
+        except (RuntimeError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        print(merged, end="")
+        return 0
+    if args.fabric_action == "worker":
+        try:
+            run_worker(config, ids, options)
+        except (TimeoutError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        return 0
+    if args.fabric_action == "merge":
+        try:
+            print(merge_reports_text(ids, fabric_dir), end="")
+        except FileNotFoundError as error:
+            raise SystemExit(str(error)) from None
+        return 0
+    if args.fabric_action == "status":
+        print(fabric_status(config, ids, fabric_dir))
+        return 0
+    raise AssertionError(f"unhandled fabric action {args.fabric_action!r}")
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        DEFAULT_BAND,
+        compare_reports,
+        load_report,
+        trajectory_table,
+    )
+
+    if args.bench_action == "compare":
+        try:
+            old = load_report(args.old)
+            new = load_report(args.new)
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        band = DEFAULT_BAND if args.band is None else args.band
+        result = compare_reports(old, new, band=band)
+        print(result.render())
+        return 0 if result.ok else 1
+    if args.bench_action == "table":
+        try:
+            print(trajectory_table(args.reports))
+        except (OSError, ValueError) as error:
+            raise SystemExit(str(error)) from None
+        return 0
+    raise AssertionError(f"unhandled bench action {args.bench_action!r}")
+
+
 def _command_cache(args: argparse.Namespace) -> int:
-    from repro.sim.diskcache import clear_disk_cache, disk_cache_stats, stream_cache_dir
+    from repro.sim.diskcache import (
+        clear_disk_cache_by_tier,
+        disk_cache_stats,
+        stream_cache_dir,
+    )
 
     if args.action == "path":
         print(stream_cache_dir())
     elif args.action == "stats":
         print(disk_cache_stats().format())
     elif args.action == "clear":
-        removed = clear_disk_cache()
+        removed_by_tier = clear_disk_cache_by_tier()
+        removed = sum(removed_by_tier.values())
         print(f"removed {removed} cache entr{'y' if removed == 1 else 'ies'}")
+        for tier, count in removed_by_tier.items():
+            print(f"  {tier}: {count}")
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled cache action {args.action!r}")
     return 0
@@ -372,6 +614,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "run-all":
         return _command_run_all(args)
+    if args.command == "fabric":
+        return _command_fabric(args)
+    if args.command == "bench":
+        return _command_bench(args)
     if args.command == "suite":
         return _command_suite(args)
     if args.command == "cache":

@@ -1,0 +1,244 @@
+"""Atomic lease files: the fabric's mutual-exclusion primitive.
+
+A lease is a small JSON file living next to the content-keyed cache
+entries.  The protocol is deliberately primitive so that it works on any
+shared filesystem with atomic ``open(O_CREAT | O_EXCL)`` and ``rename``:
+
+* **Claim** — create the lease file with ``O_CREAT | O_EXCL``.  Exactly
+  one process can win; everyone else gets ``FileExistsError`` and moves
+  on to other work units (``fabric.lease_conflicts``).
+* **Heartbeat** — the owner bumps the file's mtime (and a monotonic beat
+  counter in memory) on a short interval while it computes.  Peers judge
+  liveness purely from the mtime age, so no clocks need to agree across
+  hosts beyond filesystem timestamps.
+* **Stale takeover** — a lease whose mtime is older than the TTL marks
+  an abandoned unit (crashed or wedged worker).  A peer *steals* it by
+  atomically renaming the stale lease to a unique tombstone name — only
+  one renamer can win — and then re-claiming through the same ``O_EXCL``
+  create (``fabric.stale_leases``, ``fabric.steals``).
+* **Release** — the owner unlinks the lease after publishing the unit's
+  cache artifact.  A release that finds the file already gone means the
+  lease was stolen mid-compute; that is benign, because artifacts are
+  content-keyed and idempotent (last atomic rename wins with identical
+  bytes), and is counted as ``fabric.lease_lost``.
+
+Nothing in this module ever uses an ``exists()`` check to decide whether
+to create a lease — that would be a check-then-act race.  Creation is
+always ``O_EXCL``; liveness reads go through ``os.stat`` and treat
+``FileNotFoundError`` as "lease gone".  (reprolint R007 enforces this.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro import observability
+
+#: Seconds without a heartbeat after which a lease is considered stale.
+DEFAULT_LEASE_TTL_SECONDS = 30.0
+
+#: Interval between heartbeat mtime bumps while the owner computes.
+DEFAULT_HEARTBEAT_SECONDS = 5.0
+
+#: Suffix of the tombstone a stale lease is renamed to during takeover.
+_STALE_SUFFIX = ".stale"
+
+
+@dataclass(frozen=True)
+class LeaseInfo:
+    """Decoded contents of a lease file (best-effort; may be partial).
+
+    ``age_seconds`` is judged against the caller's TTL; the file itself
+    stores no deadline, so different fleets can disagree on patience
+    without rewriting leases.
+    """
+
+    owner: str
+    pid: int
+    age_seconds: float
+
+
+def _lease_payload(owner: str, beats: int) -> bytes:
+    payload = {
+        "owner": owner,
+        "pid": os.getpid(),
+        "beats": beats,
+        # Wall time is informational only (debugging a dead fleet);
+        # staleness decisions use the file mtime, never this field.
+        "wall_time": time.time(),
+    }
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class Lease:
+    """One held lease: heartbeat management plus release.
+
+    Use :func:`try_acquire_lease` to obtain one; the constructor assumes
+    the file at ``path`` was just ``O_EXCL``-created by this process.
+    """
+
+    def __init__(self, path: Path, owner: str, heartbeat_seconds: float) -> None:
+        self.path = path
+        self.owner = owner
+        self.heartbeat_seconds = heartbeat_seconds
+        self._beats = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- heartbeat ----------------------------------------------------------
+
+    def beat(self) -> bool:
+        """Refresh the lease mtime once; False when the lease was stolen."""
+        self._beats += 1
+        try:
+            os.utime(self.path, None)
+        except FileNotFoundError:
+            observability.increment("fabric.lease_lost")
+            return False
+        except OSError:
+            return True  # transient IO error; the next beat retries
+        return True
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_seconds):
+            if not self.beat():
+                return
+
+    def start_heartbeat(self) -> None:
+        """Keep the lease fresh from a daemon thread until release."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name=f"lease-heartbeat-{self.path.name}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    # -- release ------------------------------------------------------------
+
+    def release(self) -> None:
+        """Stop heartbeating and unlink the lease (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.heartbeat_seconds + 1.0)
+            self._thread = None
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass  # stolen or already released; both are benign
+        except OSError:
+            pass  # the TTL reclaims it eventually
+
+    def __enter__(self) -> "Lease":
+        self.start_heartbeat()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+
+def read_lease(path: Path) -> Optional[LeaseInfo]:
+    """Owner/pid/age of the lease at ``path``, or None when gone/unreadable."""
+    try:
+        age = time.time() - os.stat(path).st_mtime
+    except (FileNotFoundError, OSError):
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        owner = str(payload.get("owner", "?"))
+        pid = int(payload.get("pid", 0))
+    except (OSError, ValueError):
+        owner, pid = "?", 0  # partially written by a concurrent claimer
+    return LeaseInfo(owner=owner, pid=pid, age_seconds=max(0.0, age))
+
+
+def _lease_age_seconds(path: Path) -> Optional[float]:
+    """mtime age of the lease, or None when the file is gone."""
+    try:
+        return max(0.0, time.time() - os.stat(path).st_mtime)
+    except FileNotFoundError:
+        return None
+    except OSError:
+        return None
+
+
+def _create_exclusive(path: Path, owner: str) -> bool:
+    """O_EXCL-create ``path`` with this owner's payload; False if it exists."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        descriptor = os.open(
+            str(path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+        )
+    except FileExistsError:
+        return False
+    with os.fdopen(descriptor, "wb") as handle:
+        handle.write(_lease_payload(owner, beats=0))
+    return True
+
+
+def _steal_stale(path: Path, owner: str) -> bool:
+    """Atomically retire a stale lease; True when this process won the race.
+
+    The rename is the atomic step: of any number of peers that saw the
+    same stale lease, exactly one rename succeeds (the others get
+    ``FileNotFoundError``), so exactly one peer proceeds to re-claim.
+    """
+    tombstone = path.with_name(
+        f"{path.name}{_STALE_SUFFIX}.{owner}.{os.getpid()}"
+    )
+    try:
+        os.rename(path, tombstone)
+    except FileNotFoundError:
+        return False  # another peer stole it (or the owner released) first
+    except OSError:
+        return False
+    try:
+        os.unlink(tombstone)
+    except OSError:
+        pass
+    observability.increment("fabric.steals")
+    return True
+
+
+def try_acquire_lease(
+    path: Path,
+    owner: str,
+    *,
+    ttl_seconds: float = DEFAULT_LEASE_TTL_SECONDS,
+    heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
+) -> Optional[Lease]:
+    """Claim the lease at ``path``, stealing it if stale; None on conflict.
+
+    On success the returned :class:`Lease` is *not* yet heartbeating —
+    enter it as a context manager (or call :meth:`Lease.start_heartbeat`)
+    around the unit's compute.
+    """
+    if _create_exclusive(path, owner):
+        observability.increment("fabric.claims")
+        return Lease(path, owner, heartbeat_seconds)
+    age = _lease_age_seconds(path)
+    if age is None:
+        # Released between our create attempt and the stat: retry once.
+        if _create_exclusive(path, owner):
+            observability.increment("fabric.claims")
+            return Lease(path, owner, heartbeat_seconds)
+        observability.increment("fabric.lease_conflicts")
+        return None
+    if age <= ttl_seconds:
+        observability.increment("fabric.lease_conflicts")
+        return None
+    observability.increment("fabric.stale_leases")
+    if not _steal_stale(path, owner):
+        observability.increment("fabric.lease_conflicts")
+        return None
+    if _create_exclusive(path, owner):
+        observability.increment("fabric.claims")
+        return Lease(path, owner, heartbeat_seconds)
+    observability.increment("fabric.lease_conflicts")
+    return None

@@ -51,6 +51,24 @@ ERROR_TAXONOMY = (
     "degraded.serial_fallback",
 )
 
+#: Sharded-fabric claim taxonomy.  Like :data:`ERROR_TAXONOMY`, these are
+#: zero-filled into every ``--profile`` export so fleet dashboards and the
+#: fabric CI gate can rely on the keys existing even for serial runs:
+#:
+#: * ``fabric.claims`` — work-unit leases acquired first-hand
+#: * ``fabric.steals`` — abandoned (stale) leases taken over from a peer
+#: * ``fabric.stale_leases`` — leases observed past their heartbeat TTL
+#: * ``fabric.lease_conflicts`` — claim attempts lost to a live peer
+#: * ``fabric.warm_skips`` — work units skipped because their cache
+#:   artifact was already published by this or another shard
+FABRIC_TAXONOMY = (
+    "fabric.claims",
+    "fabric.steals",
+    "fabric.stale_leases",
+    "fabric.lease_conflicts",
+    "fabric.warm_skips",
+)
+
 
 class MetricsRegistry:
     """Thread-safe named counters and accumulated stage timers."""
@@ -256,13 +274,14 @@ def reset_metrics() -> None:
 def write_profile(path: str, extra: Optional[Dict] = None) -> None:
     """Write the global registry as a ``--profile`` JSON file.
 
-    The error-taxonomy counters (:data:`ERROR_TAXONOMY`) are always
-    present in the export, zero-filled when nothing failed.
+    The error-taxonomy counters (:data:`ERROR_TAXONOMY`) and the fabric
+    claim counters (:data:`FABRIC_TAXONOMY`) are always present in the
+    export, zero-filled when nothing failed / nothing was sharded.
     """
     payload = {"schema": PROFILE_SCHEMA}
     payload.update(snapshot())
     counters = payload.setdefault("counters", {})
-    for name in ERROR_TAXONOMY:
+    for name in ERROR_TAXONOMY + FABRIC_TAXONOMY:
         counters.setdefault(name, 0)
     if extra:
         payload["extra"] = extra

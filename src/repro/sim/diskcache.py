@@ -40,7 +40,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -545,9 +545,31 @@ def load_cached_sweep(key: SweepKey) -> "Optional[List[BucketStatistics]]":
     return statistics
 
 
+def _tier_directories() -> "Tuple[Tuple[str, Path], ...]":
+    """The three cache tiers, in storage-layout order, with their names."""
+    return (
+        (_STREAMS_SUBDIR, stream_cache_dir()),
+        (_CHUNKS_SUBDIR, chunk_cache_dir()),
+        (_SWEEPS_SUBDIR, sweep_cache_dir()),
+    )
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Entry count and footprint of one cache tier."""
+
+    name: str
+    entries: int
+    total_bytes: int
+    #: Leftover ``.tmp`` files from crashed/interrupted writers in this
+    #: tier; invisible to lookups (never published) but reclaimed by
+    #: ``repro cache clear``.
+    stale_tmp: int
+
+
 @dataclass(frozen=True)
 class DiskCacheStats:
-    """Summary of the on-disk cache state."""
+    """Summary of the on-disk cache state, aggregate and per tier."""
 
     path: str
     enabled: bool
@@ -556,33 +578,32 @@ class DiskCacheStats:
     #: Leftover ``.tmp`` files from crashed/interrupted writers; invisible
     #: to lookups (never published) but reclaimed by ``repro cache clear``.
     stale_tmp: int = 0
+    #: Per-tier breakdown (streams, chunks, sweep results), in layout order.
+    tiers: "Tuple[TierStats, ...]" = ()
 
     def format(self) -> str:
         size_mib = self.total_bytes / (1024 * 1024)
-        return "\n".join(
-            [
-                f"path:    {self.path}",
-                f"enabled: {'yes' if self.enabled else 'no'}",
-                f"entries: {self.entries}",
-                f"size:    {size_mib:.2f} MiB",
-                f"stale_tmp: {self.stale_tmp}",
-            ]
-        )
+        lines = [
+            f"path:    {self.path}",
+            f"enabled: {'yes' if self.enabled else 'no'}",
+            f"entries: {self.entries}",
+            f"size:    {size_mib:.2f} MiB",
+            f"stale_tmp: {self.stale_tmp}",
+        ]
+        for tier in self.tiers:
+            tier_mib = tier.total_bytes / (1024 * 1024)
+            lines.append(
+                f"tier {tier.name}: {tier.entries} entries, "
+                f"{tier_mib:.2f} MiB, {tier.stale_tmp} stale_tmp"
+            )
+        return "\n".join(lines)
 
 
-def disk_cache_stats() -> DiskCacheStats:
-    """Entry count and footprint across all cache tiers (full + chunk + sweep).
-
-    ``.tmp`` leftovers are counted separately (and included in the total
-    footprint), so ``repro cache stats`` reports exactly what ``clear``
-    would reclaim.
-    """
+def _scan_tier(name: str, directory: Path) -> TierStats:
     entries = 0
     total_bytes = 0
     stale_tmp = 0
-    for directory in (stream_cache_dir(), chunk_cache_dir(), sweep_cache_dir()):
-        if not directory.is_dir():
-            continue
+    if directory.is_dir():
         for item in directory.iterdir():
             if item.suffix not in (".npz", ".tmp"):
                 continue
@@ -594,19 +615,41 @@ def disk_cache_stats() -> DiskCacheStats:
                 entries += 1
             else:
                 stale_tmp += 1
-    return DiskCacheStats(
-        path=str(cache_root()),
-        enabled=cache_enabled(),
-        entries=entries,
-        total_bytes=total_bytes,
-        stale_tmp=stale_tmp,
+    return TierStats(
+        name=name, entries=entries, total_bytes=total_bytes, stale_tmp=stale_tmp
     )
 
 
-def clear_disk_cache() -> int:
-    """Delete every cache entry (and stray temp files); returns entries removed."""
-    removed = 0
-    for directory in (stream_cache_dir(), chunk_cache_dir(), sweep_cache_dir()):
+def disk_cache_stats() -> DiskCacheStats:
+    """Entry count and footprint across all cache tiers (full + chunk + sweep).
+
+    ``.tmp`` leftovers are counted separately (and included in the total
+    footprint), so ``repro cache stats`` reports exactly what ``clear``
+    would reclaim.  The per-tier breakdown in ``tiers`` names each tier
+    by its on-disk subdirectory.
+    """
+    tiers = tuple(
+        _scan_tier(name, directory) for name, directory in _tier_directories()
+    )
+    return DiskCacheStats(
+        path=str(cache_root()),
+        enabled=cache_enabled(),
+        entries=sum(tier.entries for tier in tiers),
+        total_bytes=sum(tier.total_bytes for tier in tiers),
+        stale_tmp=sum(tier.stale_tmp for tier in tiers),
+        tiers=tiers,
+    )
+
+
+def clear_disk_cache_by_tier() -> "Dict[str, int]":
+    """Delete every cache entry (and stray temp files), per-tier counts.
+
+    Returns a mapping of tier name to the number of *entries* removed
+    (temp leftovers are reclaimed too but not counted as entries).
+    """
+    removed: "Dict[str, int]" = {}
+    for name, directory in _tier_directories():
+        removed[name] = 0
         if not directory.is_dir():
             continue
         for item in directory.iterdir():
@@ -617,5 +660,10 @@ def clear_disk_cache() -> int:
             except OSError:
                 continue
             if item.suffix == ".npz":
-                removed += 1
+                removed[name] += 1
     return removed
+
+
+def clear_disk_cache() -> int:
+    """Delete every cache entry (and stray temp files); returns entries removed."""
+    return sum(clear_disk_cache_by_tier().values())

@@ -45,6 +45,38 @@ MAX_BACKOFF_SECONDS = 2.0
 MAX_POOL_REBUILDS = 2
 
 
+def retry_call(
+    run: Callable[[], T],
+    *,
+    max_retries: int,
+    retry_on: "tuple[type[BaseException], ...]" = (Exception,),
+    backoff_seconds: float = RETRY_BACKOFF_SECONDS,
+    max_backoff_seconds: float = MAX_BACKOFF_SECONDS,
+) -> T:
+    """Run ``run`` with the pool tasks' retry/backoff semantics, in-process.
+
+    This is the cross-shard face of the retry taxonomy: a fabric worker
+    computing a claimed work unit is one process with no pool underneath,
+    but its failure handling must match :func:`resilient_map` — bounded
+    retries with exponential backoff, counted through the same
+    ``retries.attempted`` counter, and the original error re-raised once
+    retries are exhausted (a crashed shard's lease then goes stale and a
+    peer takes the unit over, which is the fabric's equivalent of the
+    pool rebuild).
+    """
+    attempt = 0
+    while True:
+        try:
+            return run()
+        except retry_on:
+            if attempt >= max_retries:
+                raise
+            observability.increment("retries.attempted")
+            delay = backoff_seconds * (2 ** attempt)
+            time.sleep(min(delay, max_backoff_seconds))
+            attempt += 1
+
+
 def serial_task(task_key: str, run: Callable[[], T]) -> T:
     """Run one degraded-serial task with pool-worker metrics parity.
 

@@ -1,0 +1,41 @@
+"""R007-positive fixture: every non-atomic lease/claim file idiom.
+
+Each function stages a distinct way of claiming a work-unit lease that
+loses the mutual-exclusion race; reprolint must flag all of them.
+"""
+
+import os
+from pathlib import Path
+
+
+def claim_after_exists_check(lease_path: Path) -> bool:
+    # Check-then-act: the lease can appear between the two lines.
+    if lease_path.exists():
+        return False
+    lease_path.write_text("owner")
+    return True
+
+
+def claim_with_truncating_open(lease_path: Path) -> None:
+    # "w" succeeds for every racer; nobody learns they lost.
+    with open(lease_path, "w") as handle:
+        handle.write("owner")
+
+
+def claim_with_os_open_no_excl(lease_path: Path) -> int:
+    # O_CREAT without O_EXCL opens an existing lease just as happily.
+    return os.open(str(lease_path), os.O_CREAT | os.O_WRONLY)
+
+
+def claim_with_touch(claim_file: Path) -> None:
+    # Default touch(exist_ok=True) never raises on a taken claim.
+    claim_file.touch()
+
+
+def probe_with_os_path_exists(lease_path: str) -> bool:
+    return os.path.exists(lease_path)
+
+
+def claim_with_method_open(claim_file: Path) -> None:
+    with claim_file.open("a") as handle:
+        handle.write("owner")

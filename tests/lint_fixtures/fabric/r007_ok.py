@@ -1,0 +1,54 @@
+"""R007-negative fixture: atomic create-or-fail claims and benign reads."""
+
+import os
+from pathlib import Path
+from typing import Optional
+
+
+def claim_exclusive(lease_path: Path) -> bool:
+    # The canonical claim: O_EXCL admits exactly one winner.
+    try:
+        descriptor = os.open(
+            str(lease_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+        )
+    except FileExistsError:
+        return False
+    with os.fdopen(descriptor, "wb") as handle:
+        handle.write(b"owner")
+    return True
+
+
+def claim_with_x_mode(lease_path: Path) -> bool:
+    try:
+        with open(lease_path, "x") as handle:
+            handle.write("owner")
+    except FileExistsError:
+        return False
+    return True
+
+
+def claim_with_exclusive_touch(claim_file: Path) -> bool:
+    try:
+        claim_file.touch(exist_ok=False)
+    except FileExistsError:
+        return False
+    return True
+
+
+def read_lease_owner(lease_path: Path) -> str:
+    # Reading a lease is not racing to create one.
+    with lease_path.open() as handle:
+        return handle.read()
+
+
+def lease_age_seconds(lease_path: Path) -> Optional[float]:
+    # Liveness via stat + FileNotFoundError, not an exists() boolean.
+    try:
+        return os.stat(lease_path).st_mtime
+    except FileNotFoundError:
+        return None
+
+
+def results_ready(results_path: Path) -> bool:
+    # exists() on a non-lease artifact is outside the rule's scope.
+    return results_path.exists()

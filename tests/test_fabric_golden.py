@@ -1,0 +1,190 @@
+"""Fabric equivalence: sharded runs must be byte-identical to serial.
+
+The acceptance bar for the run fabric is that ``repro run-all`` output
+is the same byte stream whether it was produced serially, by a single
+``--shards 1`` worker, or by a multi-worker fleet — at every chunk-size
+regime (per-branch chunks, the default 1024, and monolithic full-stream
+entries) — and that a cold fleet computes every work unit exactly once.
+"""
+
+import pytest
+
+from repro import observability
+from repro.cli import main
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import run_all_reports
+from repro.fabric.plan import build_plan
+from repro.fabric.runtime import (
+    FabricOptions,
+    fabric_complete,
+    fabric_status,
+    merge_reports_text,
+    run_worker,
+)
+from repro.sim.cache import clear_stream_cache
+
+#: fig10 reads the small-predictor geometry, so the plan's dependency
+#: wiring (not just the default-geometry path) is on the line.
+IDS = ["table1", "fig5", "fig10"]
+
+#: (chunk_size, trace_length) pairs pinning the three cache regimes:
+#: per-branch chunk entries, the default chunk size, and monolithic
+#: full-stream entries.
+REGIMES = [(1, 400), (1024, 2000), (None, 2000)]
+
+
+def make_config(chunk_size, length):
+    return ExperimentConfig(
+        benchmarks=("jpeg_play", "gcc"),
+        trace_length=length,
+        chunk_size=chunk_size,
+    )
+
+
+def serial_text(config):
+    reports = run_all_reports(config, experiment_ids=IDS, jobs=1)
+    return "".join(
+        f"=== {r.experiment_id}: {r.description}\n{r.text}\n\n"
+        for r in reports
+    )
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    def activate(name):
+        cache = tmp_path / name
+        cache.mkdir()
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        clear_stream_cache()
+        observability.reset_metrics()
+        return cache
+
+    yield activate
+    clear_stream_cache()
+    observability.reset_metrics()
+
+
+@pytest.mark.parametrize("chunk_size,length", REGIMES)
+def test_single_shard_matches_serial(chunk_size, length, fresh_cache):
+    config = make_config(chunk_size, length)
+    fresh_cache("serial")
+    golden = serial_text(config)
+
+    cache = fresh_cache("fabric")
+    fabric_dir = cache / "fabric"
+    result = run_worker(
+        config, IDS, FabricOptions(shards=1, fabric_dir=fabric_dir)
+    )
+    assert fabric_complete(config, IDS, fabric_dir)
+    assert merge_reports_text(IDS, fabric_dir) == golden
+    # A cold single shard computes everything and warm-skips nothing.
+    plan = build_plan(config, IDS)
+    assert sorted(result.computed) == sorted(u.name for u in plan.units)
+    assert result.skipped_warm == []
+
+
+@pytest.mark.parametrize("chunk_size,length", REGIMES)
+def test_three_worker_fleet_matches_serial(chunk_size, length, fresh_cache):
+    config = make_config(chunk_size, length)
+    fresh_cache("serial")
+    golden = serial_text(config)
+
+    cache = fresh_cache("fabric")
+    fabric_dir = cache / "fabric"
+    plan = build_plan(config, IDS)
+    computed = []
+    # Static no-steal partition in two phases, like the critical-path
+    # gate: every unit is attributable to exactly one shard.
+    for phase in ("streams", "reports"):
+        for shard_id in range(3):
+            result = run_worker(
+                config,
+                IDS,
+                FabricOptions(
+                    shards=3,
+                    shard_id=shard_id,
+                    fabric_dir=fabric_dir,
+                    no_steal=True,
+                    phase=phase,
+                ),
+            )
+            computed.extend(result.computed)
+    assert merge_reports_text(IDS, fabric_dir) == golden
+    # Exactly once fleet-wide: no unit computed twice, none missed.
+    assert sorted(computed) == sorted(u.name for u in plan.units)
+
+
+def test_stealing_fleet_run_sequentially_is_exactly_once(fresh_cache):
+    config = make_config(1024, 2000)
+    cache = fresh_cache("fabric")
+    fabric_dir = cache / "fabric"
+    plan = build_plan(config, IDS)
+    computed = []
+    warm = []
+    for shard_id in range(3):
+        result = run_worker(
+            config,
+            IDS,
+            FabricOptions(shards=3, shard_id=shard_id, fabric_dir=fabric_dir),
+        )
+        computed.extend(result.computed)
+        warm.extend(result.skipped_warm)
+    # Sequentially, the first worker drains the whole plan; the others
+    # observe every unit done — never recompute it.
+    assert sorted(computed) == sorted(u.name for u in plan.units)
+    assert len(computed) == len(set(computed))
+    assert len(warm) == 2 * len(plan.units)
+
+
+def test_warm_fabric_pass_is_pool_free_and_computes_nothing(fresh_cache):
+    config = make_config(1024, 2000)
+    cache = fresh_cache("fabric")
+    fabric_dir = cache / "fabric"
+    run_worker(config, IDS, FabricOptions(shards=1, fabric_dir=fabric_dir))
+
+    observability.reset_metrics()
+    result = run_worker(
+        config, IDS, FabricOptions(shards=1, fabric_dir=fabric_dir)
+    )
+    plan = build_plan(config, IDS)
+    assert result.computed == []
+    assert len(result.skipped_warm) == len(plan.units)
+    assert observability.counter_value("fabric.warm_skips") == len(plan.units)
+    assert observability.counter_value("pool.started") == 0
+    assert observability.counter_value("stream_cache.chunk_sweeps") == 0
+    assert observability.counter_value("stream_cache.sweeps") == 0
+
+
+def test_run_all_shards_cli_matches_serial(fresh_cache, capsys):
+    config_flags = [
+        "--benchmarks", "jpeg_play", "gcc",
+        "--length", "2000",
+        "--experiments", *IDS,
+    ]
+    fresh_cache("serial")
+    assert main(["run-all", *config_flags]) == 0
+    golden = capsys.readouterr().out
+
+    fresh_cache("sharded")
+    assert main(["run-all", "--shards", "1", *config_flags]) == 0
+    assert capsys.readouterr().out == golden
+
+
+def test_worker_rejects_bad_shard_geometry(fresh_cache):
+    config = make_config(1024, 2000)
+    with pytest.raises(ValueError):
+        run_worker(config, IDS, FabricOptions(shards=0))
+    with pytest.raises(ValueError):
+        run_worker(config, IDS, FabricOptions(shards=2, shard_id=2))
+
+
+def test_fabric_status_reports_progress(fresh_cache):
+    config = make_config(1024, 2000)
+    cache = fresh_cache("fabric")
+    fabric_dir = cache / "fabric"
+    plan = build_plan(config, IDS)
+    before = fabric_status(config, IDS, fabric_dir)
+    assert "0/%d units done" % len(plan.units) in before
+    run_worker(config, IDS, FabricOptions(shards=1, fabric_dir=fabric_dir))
+    after = fabric_status(config, IDS, fabric_dir)
+    assert "%d/%d units done" % (len(plan.units), len(plan.units)) in after

@@ -28,6 +28,7 @@ CASES = [
     ("R004", "sim/r004_bad.py", "sim/r004_ok.py"),
     ("R005", "r005_bad.py", "r005_ok.py"),
     ("R006", "r006_bad", "r006_ok"),
+    ("R007", "fabric/r007_bad.py", "fabric/r007_ok.py"),
 ]
 
 
@@ -163,6 +164,17 @@ def test_r005_names_the_dead_counter():
     result = lint("r005_bad.py", "R005")
     assert len(result.findings) == 1
     assert "ghost.counter" in result.findings[0].message
+
+
+def test_r007_reports_each_hazard_kind():
+    result = lint("fabric/r007_bad.py", "R007")
+    messages = " ".join(finding.message for finding in result.findings)
+    assert len(result.findings) == 7
+    assert "check-then-act" in messages
+    assert "O_EXCL" in messages
+    assert "exist_ok=False" in messages
+    assert "mode 'x'" in messages
+    assert all(finding.severity == "error" for finding in result.findings)
 
 
 def test_r006_reports_both_directions():
