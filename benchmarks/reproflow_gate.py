@@ -1,0 +1,121 @@
+"""Incremental-lint gate for the reproflow dataflow engine.
+
+The interprocedural rules (R008-R010) made a full lint pass meaningfully
+more expensive than the single-file rules alone, which is why
+``repro lint --incremental`` exists: per-file results are cached by
+content hash, and a warm run re-analyzes only changed files plus their
+dependency closure.  This gate measures that contract on the real tree:
+
+* **cold** — a full pass into an empty cache directory;
+* **warm** — an immediate second pass over the unchanged tree, which
+  must replay entirely from cache (zero files re-analyzed);
+* the warm pass must be at least :data:`SPEEDUP_FLOOR` times faster,
+  and its report (findings, suppression count, files checked) must be
+  byte-identical to the cold pass — a faster lint that reports
+  different findings is a cache bug, not a win.
+
+The tree must also stay lint-clean, same as ``lint_gate.py``.
+
+Usage (exits non-zero on gate failure)::
+
+    PYTHONPATH=src python benchmarks/reproflow_gate.py [--out BENCH_reproflow.json]
+
+Writes a ``repro-bench/1`` envelope whose dimensionless ``speedup``
+headline participates in the checked-in perf trajectory
+(``repro bench compare``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.lint import run_lint
+from repro.bench import headline_metric, write_bench_report
+
+#: Minimum cold/warm wall-time ratio for an unchanged tree.
+SPEEDUP_FLOOR = 5.0
+
+#: Lint target: the installed package source, resolved relative to this
+#: file so the gate works from any working directory.
+LINT_TARGET = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _report_key(result) -> str:
+    """The comparable content of a lint report (excludes ``analyzed``)."""
+    record = result.to_dict()
+    record.pop("analyzed", None)
+    return json.dumps(record, sort_keys=True)
+
+
+def run_gate(out_path: str) -> int:
+    with tempfile.TemporaryDirectory(prefix="reproflow-gate-") as tmp:
+        cache_dir = Path(tmp) / "cache"
+
+        # Wall-time accounting only; never feeds the report's statistics.
+        started = time.perf_counter()  # reprolint: disable=R001
+        cold = run_lint([LINT_TARGET], cache_dir=cache_dir)
+        cold_seconds = time.perf_counter() - started  # reprolint: disable=R001
+
+        started = time.perf_counter()  # reprolint: disable=R001
+        warm = run_lint([LINT_TARGET], cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - started  # reprolint: disable=R001
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    clean = not cold.findings
+    identical = _report_key(cold) == _report_key(warm)
+    replayed = warm.analyzed == ()
+    fast = speedup >= SPEEDUP_FLOOR
+    passed = clean and identical and replayed and fast
+
+    write_bench_report(
+        out_path,
+        kind="reproflow",
+        passed=passed,
+        headline={"speedup": headline_metric(speedup, "higher")},
+        metrics={
+            "target": str(LINT_TARGET),
+            "files_checked": cold.files_checked,
+            "rules_run": list(cold.rules_run),
+            "findings": len(cold.findings),
+            "suppressed": cold.suppressed,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "cold_reanalyzed": len(cold.analyzed or ()),
+            "warm_reanalyzed": len(warm.analyzed or ()),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "clean": clean,
+            "warm_report_identical": identical,
+            "warm_full_replay": replayed,
+        },
+        generated_by="benchmarks/reproflow_gate.py",
+    )
+
+    print(
+        f"reproflow gate: cold {cold_seconds:.2f}s -> warm {warm_seconds:.2f}s "
+        f"({speedup:.1f}x, floor {SPEEDUP_FLOOR:.0f}x) over "
+        f"{cold.files_checked} file(s); identical={identical} "
+        f"replay={replayed} clean={clean} -> {'PASS' if passed else 'FAIL'}"
+    )
+    if not clean:
+        for finding in cold.findings:
+            print(f"  {finding.render()}")
+    return 0 if passed else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default="BENCH_reproflow.json",
+        help="report path (default: BENCH_reproflow.json)",
+    )
+    args = parser.parse_args(argv)
+    return run_gate(args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

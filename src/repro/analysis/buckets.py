@@ -13,16 +13,19 @@ from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.sim.engine import EstimatorRun
+
+FloatArray = npt.NDArray[np.float64]
 
 
 @dataclass(frozen=True)
 class BucketStatistics:
     """Executions and mispredictions per bucket."""
 
-    counts: np.ndarray
-    mispredicts: np.ndarray
+    counts: FloatArray
+    mispredicts: FloatArray
 
     def __post_init__(self) -> None:
         counts = np.asarray(self.counts, dtype=np.float64)
@@ -40,18 +43,20 @@ class BucketStatistics:
 
     @classmethod
     def from_streams(
-        cls, buckets: np.ndarray, correct: np.ndarray, num_buckets: int
+        cls, buckets: npt.ArrayLike, correct: npt.ArrayLike, num_buckets: int
     ) -> "BucketStatistics":
         """Accumulate from per-branch bucket and correctness streams."""
-        buckets = np.asarray(buckets, dtype=np.int64)
+        bucket_values = np.asarray(buckets, dtype=np.int64)
         incorrect = (np.asarray(correct) == 0).astype(np.float64)
-        if buckets.shape != incorrect.shape:
+        if bucket_values.shape != incorrect.shape:
             raise ValueError("buckets and correct streams must have equal length")
-        counts = np.bincount(buckets, minlength=num_buckets).astype(np.float64)
-        mispredicts = np.bincount(buckets, weights=incorrect, minlength=num_buckets)
+        counts = np.bincount(bucket_values, minlength=num_buckets).astype(np.float64)
+        mispredicts = np.bincount(
+            bucket_values, weights=incorrect, minlength=num_buckets
+        ).astype(np.float64)
         if counts.shape[0] > num_buckets:
             raise ValueError(
-                f"bucket value {int(buckets.max())} out of range for "
+                f"bucket value {int(bucket_values.max())} out of range for "
                 f"num_buckets={num_buckets}"
             )
         return cls(counts, mispredicts)
@@ -92,7 +97,7 @@ class BucketStatistics:
         count = self.counts[bucket]
         return float(self.mispredicts[bucket] / count) if count else 0.0
 
-    def rates(self) -> np.ndarray:
+    def rates(self) -> FloatArray:
         """Per-bucket misprediction rates (0.0 for empty buckets)."""
         with np.errstate(invalid="ignore", divide="ignore"):
             rates = self.mispredicts / self.counts
@@ -123,7 +128,9 @@ class BucketStatistics:
             return self
         return self.scaled(1.0 / total)
 
-    def regrouped(self, mapping: np.ndarray, num_buckets: Optional[int] = None) -> "BucketStatistics":
+    def regrouped(
+        self, mapping: npt.ArrayLike, num_buckets: Optional[int] = None
+    ) -> "BucketStatistics":
         """Re-bucket through ``mapping`` (e.g. a reduction LUT).
 
         ``mapping[b]`` is the new bucket of old bucket ``b``; statistics
@@ -132,16 +139,20 @@ class BucketStatistics:
         raw CIR pattern statistics once and regrouping them yields the
         ones-count and resetting curves without re-simulating.
         """
-        mapping = np.asarray(mapping, dtype=np.int64)
-        if mapping.shape[0] != self.num_buckets:
+        lut = np.asarray(mapping, dtype=np.int64)
+        if lut.shape[0] != self.num_buckets:
             raise ValueError(
-                f"mapping covers {mapping.shape[0]} buckets, "
+                f"mapping covers {lut.shape[0]} buckets, "
                 f"statistics have {self.num_buckets}"
             )
         if num_buckets is None:
-            num_buckets = int(mapping.max()) + 1 if mapping.size else 0
-        counts = np.bincount(mapping, weights=self.counts, minlength=num_buckets)
+            num_buckets = int(lut.max()) + 1 if lut.size else 0
+        # np.bincount is stubbed as returning an integer array even with
+        # float weights; the astype also makes the float64 dtype real.
+        counts = np.bincount(
+            lut, weights=self.counts, minlength=num_buckets
+        ).astype(np.float64)
         mispredicts = np.bincount(
-            mapping, weights=self.mispredicts, minlength=num_buckets
-        )
+            lut, weights=self.mispredicts, minlength=num_buckets
+        ).astype(np.float64)
         return BucketStatistics(counts, mispredicts)

@@ -9,9 +9,10 @@ dominance over an x-range, and crossover localization.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.analysis.curves import ConfidenceCurve
 
@@ -20,8 +21,8 @@ from repro.analysis.curves import ConfidenceCurve
 class CurveDelta:
     """y(first) - y(second) sampled on a common x grid."""
 
-    xs: np.ndarray
-    deltas: np.ndarray
+    xs: npt.NDArray[np.float64]
+    deltas: npt.NDArray[np.float64]
     first_name: str
     second_name: str
 
@@ -45,16 +46,17 @@ class CurveDelta:
 def sample_delta(
     first: ConfidenceCurve,
     second: ConfidenceCurve,
-    xs: Sequence[float] = tuple(range(1, 100)),
+    xs: Union[Sequence[float], npt.NDArray[np.float64]] = tuple(range(1, 100)),
 ) -> CurveDelta:
     """Sample ``first - second`` at the given x positions (percent)."""
-    grid = np.asarray(list(xs), dtype=np.float64)
+    grid = np.asarray(xs, dtype=np.float64)
     deltas = np.asarray(
         [
             first.mispredictions_captured_at(float(x))
             - second.mispredictions_captured_at(float(x))
             for x in grid
-        ]
+        ],
+        dtype=np.float64,
     )
     return CurveDelta(grid, deltas, first.name, second.name)
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.analysis.buckets import BucketStatistics
 
@@ -113,10 +114,12 @@ class ConfidenceCurve:
     def __len__(self) -> int:
         return len(self._points)
 
-    def as_series(self) -> "tuple[np.ndarray, np.ndarray]":
+    def as_series(
+        self,
+    ) -> "tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]":
         """(x, y) arrays including the implicit origin."""
-        xs = np.concatenate(([0.0], np.asarray(self._xs)))
-        ys = np.concatenate(([0.0], np.asarray(self._ys)))
+        xs = np.concatenate(([0.0], np.asarray(self._xs, dtype=np.float64)))
+        ys = np.concatenate(([0.0], np.asarray(self._ys, dtype=np.float64)))
         return xs, ys
 
     # ----- queries ----------------------------------------------------------

@@ -1,0 +1,80 @@
+"""reproflow: whole-program dataflow analysis over the reprolint parse forest.
+
+reprolint's first seven rules are syntactic: each looks at one AST shape
+at a time.  The invariants that actually protect the reproduction —
+"every result-relevant config field reaches a cache key", "numeric
+kernels keep explicit widths", "fabric workers only write shared
+artifacts under a held lease" — are *flow* properties: they hold or
+break along call chains that cross files.  This package is the shared
+analysis core those rules (R008/R009/R010) run on:
+
+* :mod:`repro.analysis.flow.symbols` — project symbol table: every
+  function/method/class defined in the scanned forest, indexed by
+  dotted qualname and by bare name, with import-alias resolution;
+* :mod:`repro.analysis.flow.callgraph` — interprocedural call graph
+  (resolved call sites, callers-of index) plus the file-level
+  dependency graph the incremental mode invalidates along;
+* :mod:`repro.analysis.flow.dataflow` — a forward taint graph over
+  (variable, call-site, parameter, return) slots; reachability queries
+  answer "does this value flow into that sink?" across functions;
+* :mod:`repro.analysis.flow.dtypes` — numpy dtype abstract
+  interpretation (widths, promotion, platform-default detection);
+* :mod:`repro.analysis.flow.incremental` — content-hash keyed per-file
+  result cache that re-analyzes only changed files plus their
+  dependency closure.
+
+Everything is stdlib-``ast`` only, like the rest of reprolint: the
+analyses never import the code they check, so fixture trees and broken
+branches lint the same as ``src/repro``.
+
+:func:`program_for` memoizes one :class:`FlowProgram` per
+:class:`~repro.analysis.lint.model.Project`, so the three flow rules
+share a single symbol table / call graph / taint graph build per run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, file_dependency_graph
+from repro.analysis.flow.dataflow import FlowGraph, Node
+from repro.analysis.flow.symbols import FunctionInfo, SymbolTable, module_name_for
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (model -> rules -> flow)
+    from repro.analysis.lint.model import Project
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FlowGraph",
+    "FlowProgram",
+    "FunctionInfo",
+    "Node",
+    "SymbolTable",
+    "file_dependency_graph",
+    "module_name_for",
+    "program_for",
+]
+
+
+class FlowProgram:
+    """The three analysis layers, built once per parse forest."""
+
+    def __init__(self, project: "Project") -> None:
+        self.symbols = SymbolTable.build(project.files)
+        self.callgraph = CallGraph.build(self.symbols)
+        self.graph = FlowGraph.build(self.symbols, self.callgraph)
+
+
+def program_for(project: "Project") -> FlowProgram:
+    """The memoized :class:`FlowProgram` for ``project``.
+
+    Stored on the project instance itself (projects are mutable
+    dataclasses, hence unhashable), so the three flow rules share one
+    build per lint run and the program dies with the project.
+    """
+    program = getattr(project, "_flow_program", None)
+    if not isinstance(program, FlowProgram):
+        program = FlowProgram(project)
+        object.__setattr__(project, "_flow_program", program)
+    return program

@@ -1,0 +1,163 @@
+"""Interprocedural call graph over the project symbol table.
+
+Two views of the same edges:
+
+* **call sites** — every ``ast.Call`` inside every function body,
+  with the callee resolved through :class:`~.symbols.SymbolTable`
+  (``None`` for builtins / third-party calls).  Rules walk these to
+  follow values across function boundaries;
+* **file dependency graph** — an *undirected* file-level projection
+  (import edges plus same-directory edges) used by the incremental
+  engine: a change to one file can only affect findings anchored in
+  files reachable through this graph, because every cross-file
+  resolution tier in :mod:`~.symbols` (imports, bare-name locality,
+  method locality) follows an import edge or stays within a
+  directory.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.flow.symbols import FunctionInfo, FunctionNode, SymbolTable
+from repro.analysis.lint.model import ParsedFile
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body."""
+
+    caller: FunctionInfo
+    index: int
+    call: ast.Call
+    callee: Optional[FunctionInfo]
+
+    @property
+    def line(self) -> int:
+        return self.call.lineno
+
+
+def scope_walk(node: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs.
+
+    Nested functions and classes are separate :class:`FunctionInfo`
+    entries; lambdas are *not* — their bodies execute in the enclosing
+    frame for our purposes, so the walk descends into them.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+@dataclass
+class CallGraph:
+    """All resolved call sites, indexed both ways."""
+
+    sites: List[CallSite] = field(default_factory=list)
+    sites_by_caller: Dict[str, List[CallSite]] = field(default_factory=dict)
+    callers_of: Dict[str, List[CallSite]] = field(default_factory=dict)
+    site_index: Dict[Tuple[str, int], CallSite] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, symbols: SymbolTable) -> "CallGraph":
+        graph = cls()
+        for info in symbols.functions.values():
+            sites: List[CallSite] = []
+            for index, call in enumerate(_calls_in(info.node)):
+                callee = symbols.resolve_callable(call.func, info.parsed)
+                site = CallSite(caller=info, index=index, call=call, callee=callee)
+                sites.append(site)
+                graph.sites.append(site)
+                graph.site_index[(info.qualname, index)] = site
+                if callee is not None:
+                    graph.callers_of.setdefault(callee.qualname, []).append(site)
+            graph.sites_by_caller[info.qualname] = sites
+        return graph
+
+    def calls_in(self, qualname: str) -> List[CallSite]:
+        return self.sites_by_caller.get(qualname, [])
+
+
+def _calls_in(node: FunctionNode) -> List[ast.Call]:
+    calls = [child for child in scope_walk(node) if isinstance(child, ast.Call)]
+    calls.sort(key=lambda call: (call.lineno, call.col_offset))
+    return calls
+
+
+def file_facts(parsed: ParsedFile) -> Tuple[str, Set[str]]:
+    """(module name, imported modules) of one parsed file.
+
+    The incremental engine persists these per file so the dependency
+    graph can be rebuilt for unchanged files without re-parsing them.
+    """
+    from repro.analysis.flow.symbols import module_name_for
+
+    return module_name_for(parsed.path), imported_modules(parsed.tree)
+
+
+def file_dependency_graph(
+    module_by_display: Dict[str, str],
+    imports_by_display: Dict[str, Set[str]],
+) -> Dict[str, Set[str]]:
+    """Undirected file-level dependency edges, keyed by display path.
+
+    Edges: (a) ``A`` imports a module defined by ``B`` (either
+    direction), (b) ``A`` and ``B`` sit in the same directory (bare-name
+    and funnel-locality resolution can couple directory-mates without
+    an import statement).  Inputs come from :func:`file_facts` —
+    freshly parsed or replayed from the incremental cache.
+    """
+    by_module: Dict[str, str] = {}
+    for display, module in module_by_display.items():
+        by_module.setdefault(module, display)
+
+    edges: Dict[str, Set[str]] = {display: set() for display in module_by_display}
+    for display, wanted in imports_by_display.items():
+        if display not in edges:
+            continue
+        for module in wanted:
+            # ``from repro.sim.cache import stream_key`` records both
+            # ``repro.sim.cache`` and ``repro.sim.cache.stream_key``;
+            # match the longest module prefix defined in the forest.
+            target = by_module.get(module)
+            while target is None and "." in module:
+                module = module.rsplit(".", 1)[0]
+                target = by_module.get(module)
+            if target is not None and target != display:
+                edges[display].add(target)
+                edges[target].add(display)
+
+    by_dir: Dict[str, List[str]] = {}
+    for display in module_by_display:
+        by_dir.setdefault(_display_dir(display), []).append(display)
+    for group in by_dir.values():
+        for a in group:
+            for b in group:
+                if a != b:
+                    edges[a].add(b)
+    return edges
+
+
+def _display_dir(display: str) -> str:
+    return display.rsplit("/", 1)[0] if "/" in display else "."
+
+
+def imported_modules(tree: ast.Module) -> Set[str]:
+    """Every dotted module path a module imports (absolute imports)."""
+    modules: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                modules.add(name.name)
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            modules.add(node.module)
+            for name in node.names:
+                if name.name != "*":
+                    modules.add(f"{node.module}.{name.name}")
+    return modules

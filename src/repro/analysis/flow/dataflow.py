@@ -1,0 +1,262 @@
+"""Forward taint/dataflow graph over the whole parse forest.
+
+The graph has one node per *value slot* and one edge per syntactic
+flow.  Slots:
+
+* ``("var", qualname, name)`` — a parameter or local of a function
+  (parameters are just locals that receive edges from call sites);
+* ``("site", qualname, index)`` — the result of the ``index``-th call
+  expression inside a function;
+* ``("ret", qualname)`` — a function's return value;
+* ``("read", qualname, base, attr)`` — an attribute read ``base.attr``
+  occurring anywhere inside a function (merged across occurrences).
+
+Edges are added for assignments (including tuple unpacking, ``for``
+targets, ``with ... as``, comprehension generators, augmented and
+walrus assignments), for returns, and for calls:
+
+* resolved project callee ``g`` — argument tokens flow into ``g``'s
+  parameter slots (positionally, by keyword, through ``*``/``**``
+  over-approximations) and ``("ret", g)`` flows into the call-site
+  slot;
+* unresolved callee (builtins, numpy, methods) — receiver and argument
+  tokens flow straight into the call-site slot, so ``max(a, b)`` or
+  ``request.get("length")`` taints its result when an input is
+  tainted.
+
+Everything is a may-analysis: extra edges cost precision, never
+soundness, which is the right trade for lint rules that must not miss
+a stale-cache path.  Rules query the graph with plain BFS
+(:meth:`FlowGraph.forward_reach` / :meth:`FlowGraph.reverse_reach`)
+from rule-specific seed/sink slots.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.flow.callgraph import CallGraph, CallSite, scope_walk
+from repro.analysis.flow.symbols import FunctionInfo, SymbolTable
+
+#: One value slot.  The first element is the kind tag; the rest are
+#: kind-specific coordinates (see module docstring).
+Node = Tuple[str, ...]
+
+
+def var_node(qualname: str, name: str) -> Node:
+    return ("var", qualname, name)
+
+
+def site_node(qualname: str, index: int) -> Node:
+    return ("site", qualname, str(index))
+
+
+def ret_node(qualname: str) -> Node:
+    return ("ret", qualname)
+
+
+def read_node(qualname: str, base: str, attr: str) -> Node:
+    return ("read", qualname, base, attr)
+
+
+class FlowGraph:
+    """The assembled slot graph plus per-function lookup tables."""
+
+    def __init__(self) -> None:
+        self.forward: Dict[Node, Set[Node]] = {}
+        self.reverse: Dict[Node, Set[Node]] = {}
+        #: id(ast.Call) -> site index, per function qualname.
+        self._site_ids: Dict[str, Dict[int, int]] = {}
+        #: every ("read", ...) node, for seed scans.
+        self.reads: Set[Node] = set()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, symbols: SymbolTable, callgraph: CallGraph) -> "FlowGraph":
+        graph = cls()
+        for info in symbols.functions.values():
+            graph._site_ids[info.qualname] = {
+                id(site.call): site.index for site in callgraph.calls_in(info.qualname)
+            }
+        for info in symbols.functions.values():
+            graph._add_function(info, callgraph)
+        return graph
+
+    def _edge(self, source: Node, target: Node) -> None:
+        self.forward.setdefault(source, set()).add(target)
+        self.reverse.setdefault(target, set()).add(source)
+
+    def expr_tokens(self, qualname: str, expr: Optional[ast.AST]) -> Set[Node]:
+        """The source slots a value expression draws from."""
+        tokens: Set[Node] = set()
+        if expr is None:
+            return tokens
+        site_ids = self._site_ids.get(qualname, {})
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                tokens.add(var_node(qualname, node.id))
+            elif isinstance(node, ast.Call):
+                index = site_ids.get(id(node))
+                if index is not None:
+                    tokens.add(site_node(qualname, index))
+            elif isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                read = read_node(qualname, node.value.id, node.attr)
+                tokens.add(read)
+                self.reads.add(read)
+        return tokens
+
+    def _flow(self, qualname: str, targets: Iterable[str], value: ast.AST) -> None:
+        tokens = self.expr_tokens(qualname, value)
+        for name in targets:
+            for token in tokens:
+                self._edge(token, var_node(qualname, name))
+
+    def _add_function(self, info: FunctionInfo, callgraph: CallGraph) -> None:
+        qualname = info.qualname
+        for node in scope_walk(info.node):
+            if isinstance(node, ast.Assign):
+                names = _target_names(node.targets)
+                self._flow(qualname, names, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._flow(qualname, _target_names([node.target]), node.value)
+            elif isinstance(node, ast.AugAssign):
+                self._flow(qualname, _target_names([node.target]), node.value)
+            elif isinstance(node, ast.NamedExpr):
+                self._flow(qualname, _target_names([node.target]), node.value)
+            elif isinstance(node, ast.For):
+                self._flow(qualname, _target_names([node.target]), node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    self._flow(
+                        qualname, _target_names([generator.target]), generator.iter
+                    )
+            elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+                self._flow(
+                    qualname,
+                    _target_names([node.optional_vars]),
+                    node.context_expr,
+                )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                for token in self.expr_tokens(qualname, node.value):
+                    self._edge(token, ret_node(qualname))
+        for site in callgraph.calls_in(qualname):
+            self._add_call(info, site)
+
+    def _add_call(self, caller: FunctionInfo, site: CallSite) -> None:
+        qualname = caller.qualname
+        result = site_node(qualname, site.index)
+        call = site.call
+        callee = site.callee
+        if callee is None:
+            for token in self.expr_tokens(qualname, call.func):
+                self._edge(token, result)
+            for arg in call.args:
+                for token in self.expr_tokens(qualname, arg):
+                    self._edge(token, result)
+            for keyword in call.keywords:
+                for token in self.expr_tokens(qualname, keyword.value):
+                    self._edge(token, result)
+            return
+
+        target = callee.qualname
+        self._edge(ret_node(target), result)
+        positional = list(callee.positional_params)
+        offset = 0
+        if (
+            callee.class_name is not None
+            and positional
+            and positional[0] in ("self", "cls")
+            and isinstance(call.func, ast.Attribute)
+        ):
+            for token in self.expr_tokens(qualname, call.func.value):
+                self._edge(token, var_node(target, positional[0]))
+            offset = 1
+
+        spill: Tuple[str, ...] = callee.params
+        index = offset
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                for token in self.expr_tokens(qualname, arg.value):
+                    for spilled in spill:
+                        self._edge(token, var_node(target, spilled))
+                    if callee.vararg:
+                        self._edge(token, var_node(target, callee.vararg))
+                continue
+            param: Optional[str]
+            if index < len(positional):
+                param = positional[index]
+            else:
+                param = callee.vararg
+            index += 1
+            if param is not None:
+                for token in self.expr_tokens(qualname, arg):
+                    self._edge(token, var_node(target, param))
+        for keyword in call.keywords:
+            tokens = self.expr_tokens(qualname, keyword.value)
+            if keyword.arg is None:
+                # ``g(**mapping)``: may bind any keyword-capable
+                # parameter, and the catch-all ``**kwargs`` if present.
+                receivers = [p for p in callee.params if p not in ("self", "cls")]
+                if callee.kwarg:
+                    receivers.append(callee.kwarg)
+            elif keyword.arg in callee.params:
+                receivers = [keyword.arg]
+            elif callee.kwarg:
+                receivers = [callee.kwarg]
+            else:
+                receivers = []
+            for token in tokens:
+                for param in receivers:
+                    self._edge(token, var_node(target, param))
+
+    # -- queries -------------------------------------------------------
+
+    def forward_reach(self, seeds: Iterable[Node]) -> Set[Node]:
+        """Every slot reachable from ``seeds`` along flow edges."""
+        return _bfs(seeds, self.forward)
+
+    def reverse_reach(self, targets: Iterable[Node]) -> Set[Node]:
+        """Every slot from which some ``target`` is reachable."""
+        return _bfs(targets, self.reverse)
+
+    def site_index_of(self, qualname: str, call: ast.Call) -> Optional[int]:
+        return self._site_ids.get(qualname, {}).get(id(call))
+
+
+def _bfs(seeds: Iterable[Node], edges: Dict[Node, Set[Node]]) -> Set[Node]:
+    seen: Set[Node] = set(seeds)
+    frontier: List[Node] = list(seen)
+    while frontier:
+        current = frontier.pop()
+        for successor in edges.get(current, ()):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen
+
+
+_TargetNode = Union[ast.expr, ast.AST]
+
+
+def _target_names(targets: Sequence[_TargetNode]) -> List[str]:
+    """Local names an assignment target binds (over-approximated).
+
+    ``a.b = v`` and ``a[k] = v`` count as flows into ``a`` — mutating a
+    field or element taints the container for a may-analysis.
+    """
+    names: List[str] = []
+    stack: List[_TargetNode] = list(targets)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node.value, ast.Name):
+                names.append(node.value.id)
+    return names

@@ -1,0 +1,385 @@
+"""Numpy dtype abstract interpretation for the numeric kernels.
+
+A tiny non-relational abstract domain: each local name maps to a dtype
+token (``"uint8"``, ``"int64"``, ``"float32"``, ...) or ``None`` for
+unknown.  Python scalars get the weak tokens ``"pyint"``/``"pyfloat"``
+so that ``counters + 1`` keeps the array's width instead of widening
+to a 64-bit result, matching numpy's value-based casting for scalars.
+
+Inference sources, in rough order of trust:
+
+* explicit constructors — ``np.zeros(n, dtype=np.uint8)``,
+  ``x.astype(np.int64)``, ``np.uint16(v)``;
+* propagation — binary ops promote via :func:`promote`, comparisons
+  produce ``bool``, shape-only methods (``copy``/``reshape``/...)
+  keep the operand dtype, ``np.where``/``np.concatenate`` promote
+  their branches;
+* interprocedural summaries — a project function's return dtype is the
+  join of its return expressions, computed to fixpoint by
+  :func:`return_summaries` so kernels that build arrays in helpers
+  still infer at the call site;
+* hazards — ``np.arange`` (or ``np.cumsum`` on a narrow int) without
+  an explicit dtype yields the platform-default integer, modeled as
+  the distinguished token ``"platform"`` that rule R009 flags inside
+  scoped subtrees.
+
+This is deliberately a may-analysis over names written in the source:
+anything dynamic degrades to unknown, never to a wrong width.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.flow.callgraph import scope_walk
+from repro.analysis.flow.symbols import FunctionInfo, SymbolTable
+
+#: Signed/unsigned integer tokens by width, used for promotion.
+INT_WIDTHS: Dict[str, int] = {
+    "int8": 8,
+    "int16": 16,
+    "int32": 32,
+    "int64": 64,
+    "uint8": 8,
+    "uint16": 16,
+    "uint32": 32,
+    "uint64": 64,
+}
+
+FLOAT_WIDTHS: Dict[str, int] = {"float32": 32, "float64": 64}
+
+#: Platform-default integer (``np.int_``): width depends on the host,
+#: which is exactly the portability hazard R009 exists to flag.
+PLATFORM = "platform"
+
+_NUMPY_DTYPE_NAMES: Dict[str, str] = {
+    **{name: name for name in INT_WIDTHS},
+    **{name: name for name in FLOAT_WIDTHS},
+    "bool_": "bool",
+    "bool": "bool",
+    "intp": PLATFORM,
+    "int_": PLATFORM,
+    "uintp": PLATFORM,
+    "uint": PLATFORM,
+    "intc": "int32",
+    "single": "float32",
+    "double": "float64",
+    "float_": "float64",
+}
+
+#: numpy allocators whose result dtype is the ``dtype=`` keyword.
+_ALLOCATORS = frozenset(
+    {"zeros", "ones", "empty", "full", "array", "asarray", "frombuffer", "fromiter"}
+)
+_LIKE_ALLOCATORS = frozenset({"zeros_like", "ones_like", "empty_like", "full_like"})
+#: shape-only methods: result keeps the receiver's dtype.
+_SHAPE_METHODS = frozenset(
+    {"copy", "ravel", "reshape", "flatten", "squeeze", "transpose", "take", "repeat"}
+)
+#: reductions that keep the operand dtype.
+_KEEP_REDUCTIONS = frozenset({"where", "concatenate", "stack", "maximum", "minimum"})
+#: accumulators that silently widen narrow ints to the platform int.
+ACCUMULATORS = frozenset({"cumsum", "cumprod", "sum", "prod"})
+
+
+def is_int(token: Optional[str]) -> bool:
+    return token in INT_WIDTHS or token == PLATFORM or token == "pyint"
+
+
+def is_float(token: Optional[str]) -> bool:
+    return token in FLOAT_WIDTHS or token == "pyfloat"
+
+
+def is_array_int(token: Optional[str]) -> bool:
+    """Integer tokens with a concrete machine width."""
+    return token in INT_WIDTHS
+
+
+def promote(left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """Join two dtype tokens under (approximate) numpy promotion."""
+    if left == right:
+        return left
+    if left is None or right is None:
+        return None
+    for weak, other in ((left, right), (right, left)):
+        if weak == "pyint":
+            if other in INT_WIDTHS or other in FLOAT_WIDTHS or other == PLATFORM:
+                return other
+            if other == "bool":
+                return PLATFORM
+            return None
+        if weak == "pyfloat":
+            if other in FLOAT_WIDTHS:
+                return other
+            if other in INT_WIDTHS or other == PLATFORM or other == "bool":
+                return "float64"
+            return None
+        if weak == "bool":
+            return other
+    if left in FLOAT_WIDTHS and right in FLOAT_WIDTHS:
+        return "float64"
+    if left in FLOAT_WIDTHS or right in FLOAT_WIDTHS:
+        return "float64"  # int ⊕ float widens
+    if left in INT_WIDTHS and right in INT_WIDTHS:
+        signed = left.startswith("i") == right.startswith("i")
+        if not signed:
+            return None
+        return left if INT_WIDTHS[left] >= INT_WIDTHS[right] else right
+    return None
+
+
+def dtype_of_expr(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """The dtype a ``dtype=`` argument names (``np.uint8`` -> ``uint8``)."""
+    if isinstance(node, ast.Attribute):
+        return _NUMPY_DTYPE_NAMES.get(node.attr)
+    if isinstance(node, ast.Name):
+        root = aliases.get(node.id, node.id)
+        return _NUMPY_DTYPE_NAMES.get(root.rsplit(".", 1)[-1])
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _NUMPY_DTYPE_NAMES.get(node.value)
+    return None
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _dtype_keyword(call: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return dtype_of_expr(keyword.value, aliases)
+    return None
+
+
+class DtypeInference:
+    """Per-function dtype environments with interprocedural summaries."""
+
+    def __init__(self, symbols: SymbolTable) -> None:
+        self.symbols = symbols
+        self.summaries: Dict[str, Optional[str]] = {}
+
+    def infer(
+        self,
+        node: Optional[ast.AST],
+        env: Dict[str, Optional[str]],
+        info: FunctionInfo,
+    ) -> Optional[str]:
+        if node is None:
+            return None
+        aliases = self.symbols.aliases.get(info.parsed.display, {})
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return "bool"
+            if isinstance(node.value, int):
+                return "pyint"
+            if isinstance(node.value, float):
+                return "pyfloat"
+            return None
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Subscript):
+            return self.infer(node.value, env, info)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return "bool"
+            return self.infer(node.operand, env, info)
+        if isinstance(node, ast.Compare):
+            return "bool"
+        if isinstance(node, ast.BoolOp):
+            return None
+        if isinstance(node, ast.IfExp):
+            return promote(
+                self.infer(node.body, env, info), self.infer(node.orelse, env, info)
+            )
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left, env, info)
+            right = self.infer(node.right, env, info)
+            if isinstance(node.op, (ast.LShift, ast.RShift, ast.BitAnd, ast.BitOr, ast.BitXor)):
+                # Bitwise ops never change kind; keep the array side.
+                if left == "pyint":
+                    return right
+                if right == "pyint":
+                    return left
+            if isinstance(node.op, ast.Div):
+                # True division yields float regardless of operand
+                # widths — even when the operands are unknown.
+                if is_float(left) or is_float(right):
+                    return promote(left, right)
+                return "float64"
+            return promote(left, right)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env, info, aliases)
+        return None
+
+    def _infer_call(
+        self,
+        call: ast.Call,
+        env: Dict[str, Optional[str]],
+        info: FunctionInfo,
+        aliases: Dict[str, str],
+    ) -> Optional[str]:
+        name = _call_name(call)
+        if name is None:
+            return None
+        explicit = _dtype_keyword(call, aliases)
+        if name == "astype":
+            if call.args:
+                return dtype_of_expr(call.args[0], aliases) or explicit
+            return explicit
+        if name in _ALLOCATORS:
+            return explicit
+        if name in _LIKE_ALLOCATORS:
+            if explicit is not None:
+                return explicit
+            if call.args:
+                return self.infer(call.args[0], env, info)
+            return None
+        if name == "arange":
+            return explicit if explicit is not None else PLATFORM
+        if name in _NUMPY_DTYPE_NAMES and _is_numpy_call(call, aliases):
+            return _NUMPY_DTYPE_NAMES[name]
+        if name in ACCUMULATORS:
+            if explicit is not None:
+                return explicit
+            operand: Optional[ast.AST]
+            if isinstance(call.func, ast.Attribute) and not _is_numpy_call(call, aliases):
+                operand = call.func.value
+            elif call.args:
+                operand = call.args[0]
+            else:
+                operand = None
+            operand_token = self.infer(operand, env, info)
+            if operand_token in (
+                "bool", "int8", "int16", "int32", "uint8", "uint16", "uint32", "pyint",
+            ):
+                return PLATFORM
+            return operand_token
+        if name in _SHAPE_METHODS and isinstance(call.func, ast.Attribute):
+            return self.infer(call.func.value, env, info)
+        if name in _KEEP_REDUCTIONS:
+            joined: Optional[str] = None
+            first = True
+            for arg in call.args[1 if name == "where" else 0 :]:
+                inferred = self.infer(arg, env, info)
+                joined = inferred if first else promote(joined, inferred)
+                first = False
+            return joined
+        resolved = self.symbols.resolve_callable(call.func, info.parsed)
+        if resolved is not None:
+            return self.summaries.get(resolved.qualname)
+        return None
+
+    # -- per-function environments ------------------------------------
+
+    def function_env(
+        self, info: FunctionInfo
+    ) -> Tuple[Dict[str, Optional[str]], List[Tuple[str, str, str, ast.AST]]]:
+        """(final env, rebind events) for one function body.
+
+        A rebind event ``(name, old, new, node)`` records an assignment
+        that changed a name's inferred dtype — the raw material of the
+        implicit-upcast check.  Statements are processed in source
+        order, twice, so loop-carried names stabilize.
+        """
+        statements = self._ordered_assignments(info)
+        env: Dict[str, Optional[str]] = {}
+        rebinds: List[Tuple[str, str, str, ast.AST]] = []
+        for round_index in range(2):
+            for target_name, value, node, explicit in statements:
+                token = self.infer(value, env, info)
+                old = env.get(target_name)
+                if (
+                    round_index == 1
+                    and old is not None
+                    and token is not None
+                    and old != token
+                    and old not in ("pyint", "pyfloat")
+                    and token not in ("pyint", "pyfloat")
+                    and not explicit
+                ):
+                    rebinds.append((target_name, old, token, node))
+                if token is not None or target_name not in env:
+                    env[target_name] = token
+            if round_index == 0:
+                rebinds.clear()
+        return env, rebinds
+
+    def _ordered_assignments(
+        self, info: FunctionInfo
+    ) -> List[Tuple[str, ast.AST, ast.AST, bool]]:
+        collected: List[Tuple[str, ast.AST, ast.AST, bool]] = []
+        for node in scope_walk(info.node):
+            if isinstance(node, ast.Assign) and node.value is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        collected.append(
+                            (target.id, node.value, node, _is_explicit(node.value))
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    collected.append(
+                        (node.target.id, node.value, node, _is_explicit(node.value))
+                    )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    value = ast.BinOp(
+                        left=ast.Name(id=node.target.id, ctx=ast.Load()),
+                        op=node.op,
+                        right=node.value,
+                    )
+                    ast.copy_location(value, node)
+                    ast.fix_missing_locations(value)
+                    collected.append((node.target.id, value, node, False))
+        collected.sort(key=lambda item: (item[2].lineno, item[2].col_offset))
+        return collected
+
+
+def _is_explicit(value: ast.AST) -> bool:
+    """True when the assignment names its dtype on purpose."""
+    if not isinstance(value, ast.Call):
+        return False
+    name = _call_name(value)
+    if name == "astype":
+        return True
+    if name in _NUMPY_DTYPE_NAMES:
+        return True
+    return any(keyword.arg == "dtype" for keyword in value.keywords)
+
+
+def _is_numpy_call(call: ast.Call, aliases: Dict[str, str]) -> bool:
+    current: ast.AST = call.func
+    while isinstance(current, ast.Attribute):
+        current = current.value
+    if isinstance(current, ast.Name):
+        root = aliases.get(current.id, current.id)
+        return root.split(".", 1)[0] == "numpy"
+    return False
+
+
+def return_summaries(
+    symbols: SymbolTable, inference: DtypeInference
+) -> Dict[str, Optional[str]]:
+    """Fixpoint of per-function return dtypes (join over return exprs)."""
+    changed = True
+    rounds = 0
+    while changed and rounds < 5:
+        changed = False
+        rounds += 1
+        for info in symbols.functions.values():
+            env, _ = inference.function_env(info)
+            token: Optional[str] = None
+            first = True
+            for node in scope_walk(info.node):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    inferred = inference.infer(node.value, env, info)
+                    token = inferred if first else promote(token, inferred)
+                    first = False
+            if inference.summaries.get(info.qualname, "∅") != token:
+                inference.summaries[info.qualname] = token
+                changed = True
+    return inference.summaries

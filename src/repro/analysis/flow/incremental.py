@@ -1,0 +1,211 @@
+"""Content-hash keyed incremental cache for whole-program lint runs.
+
+Whole-program analysis is what makes R008–R010 possible — and what
+would make every pre-commit hook pay the full-tree price.  The
+incremental mode bounds that cost with two tiers:
+
+* **exact replay** — the *project digest* hashes the engine version,
+  the selected rule ids, and every ``(display path, content sha)``
+  pair.  A warm run on an unchanged tree matches the digest and
+  replays the stored findings byte-for-byte without parsing a single
+  file;
+* **partial re-analysis** — when some files changed, only the changed
+  files plus their *dependency closure* are re-analyzed; findings for
+  every other file replay from the cache.  The closure is computed on
+  the undirected file graph of :func:`~repro.analysis.flow.callgraph.
+  file_dependency_graph` (import edges + same-directory edges), whose
+  edges over-approximate every cross-file resolution tier the flow
+  analyses use — so a finding anchored outside the closure could not
+  have changed.  Per-file facts (module name, imports) are persisted
+  so unchanged files contribute their edges without being re-parsed.
+
+The cache is one JSON file (``state.json``) inside the cache
+directory; it is keyed by display paths, which are cwd-relative — a
+run from a different working directory misses cleanly and rebuilds.
+Corrupt or version-skewed state is discarded, never trusted.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.flow.callgraph import file_dependency_graph, imported_modules
+from repro.analysis.flow.symbols import module_name_for
+from repro.analysis.lint.model import Finding
+
+#: Schema tag of the on-disk cache state; bump to invalidate caches.
+CACHE_SCHEMA = "reproflow-cache/1"
+
+#: Fingerprint of the analysis code itself.  Bump whenever a rule's
+#: semantics change in a way that should invalidate warm results.
+ENGINE_VERSION = "reproflow-1"
+
+
+def _coerce_record(entry: object) -> Dict[str, object]:
+    if not isinstance(entry, dict):
+        raise TypeError(f"expected a finding record, got {entry!r}")
+    return {str(key): value for key, value in entry.items()}
+
+
+@dataclass
+class FileRecord:
+    """Cached per-file analysis results and dependency facts."""
+
+    sha: str
+    module: str
+    imports: List[str]
+    findings: List[Dict[str, object]]
+    suppressed: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sha": self.sha,
+            "module": self.module,
+            "imports": sorted(self.imports),
+            "findings": self.findings,
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "FileRecord":
+        imports = record.get("imports", [])
+        findings = record.get("findings", [])
+        suppressed = record.get("suppressed", 0)
+        if not isinstance(imports, list) or not isinstance(findings, list):
+            raise TypeError("imports and findings must be lists")
+        if isinstance(suppressed, bool) or not isinstance(suppressed, int):
+            raise TypeError("suppressed must be an integer")
+        return cls(
+            sha=str(record["sha"]),
+            module=str(record["module"]),
+            imports=[str(module) for module in imports],
+            findings=[_coerce_record(entry) for entry in findings],
+            suppressed=suppressed,
+        )
+
+
+@dataclass
+class CacheState:
+    """The whole persisted state of one lint configuration."""
+
+    digest: str
+    rules: List[str]
+    files: Dict[str, FileRecord] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": CACHE_SCHEMA,
+            "engine": ENGINE_VERSION,
+            "digest": self.digest,
+            "rules": list(self.rules),
+            "files": {
+                display: record.to_dict() for display, record in self.files.items()
+            },
+        }
+
+
+def content_sha(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def project_digest(
+    rules: Sequence[str], fingerprints: Sequence[Tuple[str, str]]
+) -> str:
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA,
+            "engine": ENGINE_VERSION,
+            "rules": list(rules),
+            "files": sorted(fingerprints),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def state_path(cache_dir: Path) -> Path:
+    return cache_dir / "state.json"
+
+
+def load_state(cache_dir: Path) -> Optional[CacheState]:
+    """The persisted state, or None when absent/corrupt/version-skewed."""
+    try:
+        raw = json.loads(state_path(cache_dir).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict):
+        return None
+    if raw.get("schema") != CACHE_SCHEMA or raw.get("engine") != ENGINE_VERSION:
+        return None
+    try:
+        stored = raw.get("files", {})
+        rules = raw["rules"]
+        if not isinstance(stored, dict) or not isinstance(rules, list):
+            return None
+        files = {
+            str(display): FileRecord.from_dict(_coerce_record(record))
+            for display, record in stored.items()
+        }
+        return CacheState(
+            digest=str(raw["digest"]),
+            rules=[str(rule) for rule in rules],
+            files=files,
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def save_state(cache_dir: Path, state: CacheState) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    target = state_path(cache_dir)
+    tmp = target.with_name(target.name + ".tmp")
+    tmp.write_text(
+        json.dumps(state.to_dict(), indent=1, sort_keys=True), encoding="utf-8"
+    )
+    tmp.replace(target)
+
+
+def file_facts_for(path: Path) -> Tuple[str, List[str]]:
+    """(module name, imports) of a file, parsed fresh.
+
+    Unparseable files contribute no import edges (they still belong to
+    their directory clique, which is enough for invalidation).
+    """
+    module = module_name_for(path)
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError, UnicodeDecodeError):
+        return module, []
+    return module, sorted(imported_modules(tree))
+
+
+def invalidation_closure(
+    changed: Set[str],
+    modules: Dict[str, str],
+    imports: Dict[str, Set[str]],
+) -> Set[str]:
+    """Displays whose findings may change when ``changed`` changed.
+
+    BFS over the undirected file dependency graph, seeded with the
+    changed (and removed) files.
+    """
+    graph = file_dependency_graph(modules, imports)
+    seen: Set[str] = set(display for display in changed if display in graph)
+    seen.update(changed)
+    frontier: List[str] = [d for d in changed if d in graph]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in graph.get(current, ()):  # pragma: no branch
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return seen
+
+
+def replay_findings(record: FileRecord) -> List[Finding]:
+    return [Finding.from_dict(raw) for raw in record.findings]

@@ -1,0 +1,277 @@
+"""Project symbol table: every definition in the scanned parse forest.
+
+The table answers "which definition does this call refer to?" without
+importing anything.  Resolution runs in three tiers:
+
+1. **alias-resolved dotted names** — ``from repro.sim.cache import
+   stream_key`` binds the local name ``stream_key`` to the qualname
+   ``repro.sim.cache.stream_key``, which the table looks up directly;
+2. **bare names** — fixture trees (and intra-module calls) have no
+   import edge, so an unresolved name falls back to definitions with
+   the same terminal name, preferring the same module, then the
+   longest shared directory prefix (the same locality heuristic R002
+   used for its funnel binding);
+3. **method names** — ``obj.method(...)`` resolves through the class
+   table when exactly one plausible class in scope defines ``method``.
+
+Module names are derived from the filesystem: a file's dotted module
+path is its package chain (directories with ``__init__.py``) plus the
+stem, so ``src/repro/sim/cache.py`` is ``repro.sim.cache`` while a
+loose fixture file is just its stem.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.lint.model import ParsedFile
+from repro.analysis.lint.rules._common import import_aliases
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path of ``path``, derived from ``__init__.py`` chains."""
+    parts: List[str] = []
+    if path.stem != "__init__":
+        parts.append(path.stem)
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem
+
+
+def _shared_parts(left: Tuple[str, ...], right: Tuple[str, ...]) -> int:
+    count = 0
+    for a, b in zip(left, right):
+        if a != b:
+            break
+        count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition in the forest."""
+
+    qualname: str
+    module: str
+    name: str
+    class_name: Optional[str]
+    parsed: ParsedFile
+    node: FunctionNode
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        args = self.node.args
+        ordered = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        return tuple(arg.arg for arg in ordered)
+
+    @property
+    def positional_params(self) -> Tuple[str, ...]:
+        args = self.node.args
+        return tuple(arg.arg for arg in list(args.posonlyargs) + list(args.args))
+
+    @property
+    def vararg(self) -> Optional[str]:
+        return self.node.args.vararg.arg if self.node.args.vararg else None
+
+    @property
+    def kwarg(self) -> Optional[str]:
+        return self.node.args.kwarg.arg if self.node.args.kwarg else None
+
+    @property
+    def dir_parts(self) -> Tuple[str, ...]:
+        return self.parsed.path.parent.parts
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition in the forest."""
+
+    qualname: str
+    module: str
+    name: str
+    parsed: ParsedFile
+    node: ast.ClassDef
+    methods: Tuple[str, ...]
+
+
+@dataclass
+class SymbolTable:
+    """Indexes of every definition in the forest."""
+
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    functions_by_name: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    classes_by_name: Dict[str, List[ClassInfo]] = field(default_factory=dict)
+    modules: Dict[str, ParsedFile] = field(default_factory=dict)
+    module_of: Dict[str, str] = field(default_factory=dict)
+    aliases: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, files: Sequence[ParsedFile]) -> "SymbolTable":
+        table = cls()
+        for parsed in files:
+            module = module_name_for(parsed.path)
+            table.modules.setdefault(module, parsed)
+            table.module_of[parsed.display] = module
+            table.aliases[parsed.display] = import_aliases(parsed.tree)
+            table._collect(parsed, module)
+        return table
+
+    def _collect(self, parsed: ParsedFile, module: str) -> None:
+        def visit(body: Sequence[ast.stmt], scope: Tuple[str, ...]) -> None:
+            for statement in body:
+                if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add_function(parsed, module, scope, statement)
+                    visit(statement.body, scope + (statement.name,))
+                elif isinstance(statement, ast.ClassDef):
+                    self._add_class(parsed, module, scope, statement)
+                    visit(statement.body, scope + (statement.name,))
+                elif isinstance(statement, (ast.If, ast.Try, ast.With)):
+                    # Definitions guarded by TYPE_CHECKING / try-import
+                    # blocks still belong to the module scope.
+                    for child in ast.iter_child_nodes(statement):
+                        if isinstance(child, ast.stmt):
+                            visit([child], scope)
+
+        visit(parsed.tree.body, ())
+
+    def _add_function(
+        self,
+        parsed: ParsedFile,
+        module: str,
+        scope: Tuple[str, ...],
+        node: FunctionNode,
+    ) -> None:
+        qualname = ".".join((module,) + scope + (node.name,))
+        class_name = scope[-1] if scope and scope[-1] in self.classes_by_name else None
+        if class_name is None and scope:
+            # The enclosing scope may be a class not yet registered by
+            # name (same pass); detect via the raw scope string instead.
+            class_name = scope[-1] if scope[-1][:1].isupper() else None
+        info = FunctionInfo(
+            qualname=qualname,
+            module=module,
+            name=node.name,
+            class_name=class_name,
+            parsed=parsed,
+            node=node,
+        )
+        self.functions.setdefault(qualname, info)
+        self.functions_by_name.setdefault(node.name, []).append(info)
+
+    def _add_class(
+        self,
+        parsed: ParsedFile,
+        module: str,
+        scope: Tuple[str, ...],
+        node: ast.ClassDef,
+    ) -> None:
+        qualname = ".".join((module,) + scope + (node.name,))
+        methods = tuple(
+            statement.name
+            for statement in node.body
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        info = ClassInfo(
+            qualname=qualname,
+            module=module,
+            name=node.name,
+            parsed=parsed,
+            node=node,
+            methods=methods,
+        )
+        self.classes.setdefault(qualname, info)
+        self.classes_by_name.setdefault(node.name, []).append(info)
+
+    # -- resolution ----------------------------------------------------
+
+    def _closest(
+        self, candidates: List[FunctionInfo], caller_file: ParsedFile
+    ) -> Optional[FunctionInfo]:
+        """The candidate nearest ``caller_file`` in the directory tree."""
+        best: Optional[FunctionInfo] = None
+        best_score = -1
+        anchor = caller_file.path.parent.parts
+        for candidate in candidates:
+            score = _shared_parts(candidate.dir_parts, anchor)
+            if score > best_score or (
+                score == best_score
+                and best is not None
+                and candidate.qualname < best.qualname
+            ):
+                best, best_score = candidate, score
+        return best
+
+    def resolve_callable(
+        self, func: ast.expr, caller_file: ParsedFile
+    ) -> Optional[FunctionInfo]:
+        """The project function a call's ``func`` expression refers to."""
+        aliases = self.aliases.get(caller_file.display, {})
+        dotted = _dotted(func, aliases)
+        if dotted is not None:
+            direct = self.functions.get(dotted)
+            if direct is not None:
+                return direct
+        if isinstance(func, ast.Name):
+            caller_module = self.module_of.get(caller_file.display, "")
+            candidates = self.functions_by_name.get(func.id, [])
+            same_module = [c for c in candidates if c.module == caller_module]
+            if same_module:
+                return same_module[0]
+            if candidates:
+                return self._closest(candidates, caller_file)
+        if isinstance(func, ast.Attribute):
+            # ``obj.method(...)``: bind through the class table when the
+            # method name is unique enough; prefer local definitions.
+            candidates = [
+                c
+                for c in self.functions_by_name.get(func.attr, [])
+                if c.class_name is not None
+            ]
+            if candidates:
+                return self._closest(candidates, caller_file)
+        return None
+
+    def resolve_class(
+        self, func: ast.expr, caller_file: ParsedFile
+    ) -> Optional[ClassInfo]:
+        """The project class a call's ``func`` expression constructs."""
+        aliases = self.aliases.get(caller_file.display, {})
+        dotted = _dotted(func, aliases)
+        if dotted is not None:
+            direct = self.classes.get(dotted)
+            if direct is not None:
+                return direct
+            terminal = dotted.rsplit(".", 1)[-1]
+            candidates = self.classes_by_name.get(terminal, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            if candidates:
+                anchor = caller_file.path.parent.parts
+                return max(
+                    candidates,
+                    key=lambda c: (
+                        _shared_parts(c.parsed.path.parent.parts, anchor),
+                        c.qualname,
+                    ),
+                )
+        return None
+
+
+def _dotted(node: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(aliases.get(current.id, current.id))
+    return ".".join(reversed(parts))

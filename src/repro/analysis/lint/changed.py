@@ -1,0 +1,110 @@
+"""Git-aware target narrowing for ``repro lint --changed [REF]``.
+
+The pre-commit use case: lint only what the current edit could have
+affected.  "Could have affected" is not just the edited files — the
+flow rules (R008–R010) reason across files, so the narrowed target set
+is the changed files *plus their dependency closure* on the same
+undirected file graph the incremental cache invalidates along
+(import edges + same-directory edges).  Files deleted since ``REF``
+still seed the closure: their directory-mates and importers get
+re-linted even though the file itself is gone.
+
+Change detection is ``git diff --name-only REF`` (worktree vs ``REF``,
+staged and unstaged alike) plus untracked files from ``git ls-files
+--others``.  Running outside a git worktree raises
+:class:`ChangedError`; the CLI maps that to a usage error.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from repro.analysis.flow.incremental import file_facts_for, invalidation_closure
+from repro.analysis.flow.symbols import module_name_for
+from repro.analysis.lint.model import discover_sources, display_for
+
+
+class ChangedError(RuntimeError):
+    """Raised when the git queries behind ``--changed`` fail."""
+
+
+def _git_lines(args: Sequence[str]) -> List[str]:
+    try:
+        completed = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as error:  # pragma: no cover - git missing entirely
+        raise ChangedError(f"cannot run git: {error}") from error
+    if completed.returncode != 0:
+        detail = completed.stderr.strip().splitlines()
+        raise ChangedError(
+            f"git {' '.join(args)} failed: {detail[0] if detail else 'unknown error'}"
+        )
+    return [line for line in completed.stdout.splitlines() if line]
+
+
+def _under_roots(candidate: Path, roots: Sequence[Path]) -> bool:
+    return any(root == candidate or root in candidate.parents for root in roots)
+
+
+def changed_targets(paths: Sequence[Path], ref: str = "HEAD") -> List[Path]:
+    """Files under ``paths`` to lint for the worktree's diff vs ``ref``.
+
+    Returns the changed ``.py`` files plus their dependency closure,
+    sorted by display path; empty when nothing relevant changed.
+    """
+    sources = discover_sources(paths)
+    path_by_display: Dict[str, Path] = {
+        display_for(source): source for source in sources
+    }
+    roots = [path.resolve() for path in paths]
+
+    top = _git_lines(["rev-parse", "--show-toplevel"])
+    if not top:  # pragma: no cover - rev-parse always prints on success
+        raise ChangedError("git rev-parse --show-toplevel produced no output")
+    repo_root = Path(top[0])
+    touched = _git_lines(["diff", "--name-only", ref, "--"])
+    touched += _git_lines(["ls-files", "--others", "--exclude-standard"])
+
+    display_by_resolved = {
+        source.resolve(): display for display, source in path_by_display.items()
+    }
+    seeds: Set[str] = set()
+    deleted: Dict[str, Path] = {}
+    for rel in touched:
+        if not rel.endswith(".py"):
+            continue
+        absolute = (repo_root / rel).resolve()
+        display = display_by_resolved.get(absolute)
+        if display is not None:
+            seeds.add(display)
+        elif not absolute.exists() and _under_roots(absolute, roots):
+            # Deleted since REF: seed the closure so its importers and
+            # directory-mates are re-linted, even though the file is gone.
+            display = display_for(absolute)
+            seeds.add(display)
+            deleted[display] = absolute
+    if not seeds:
+        return []
+
+    modules: Dict[str, str] = {}
+    imports: Dict[str, Set[str]] = {}
+    for display, source in path_by_display.items():
+        module, imported = file_facts_for(source)
+        modules[display] = module
+        imports[display] = set(imported)
+    for display, absolute in deleted.items():
+        modules[display] = module_name_for(absolute)
+        imports[display] = set()
+
+    closure = invalidation_closure(seeds, modules, imports)
+    return [
+        path_by_display[display]
+        for display in sorted(closure)
+        if display in path_by_display
+    ]

@@ -50,6 +50,13 @@ _SUPPRESS_RE = re.compile(
 CACHE_EXEMPT_RE = re.compile(r"#\s*reprolint:\s*cache-exempt\b")
 
 
+def _coerce_int(value: object) -> int:
+    """Narrow a JSON-decoded value to int (bool is not a line number)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"expected an integer, got {value!r}")
+    return value
+
+
 def severity_rank(severity: str) -> int:
     """Numeric rank of a severity name (higher = more severe)."""
     try:
@@ -67,6 +74,13 @@ class Finding:
     Order is (path, line, col, rule), which is also the report order.
     ``line`` is 1-based and ``col`` 0-based, matching ``ast`` node
     positions; renderers add 1 to the column for editor conventions.
+
+    Cross-file findings (a flow rule anchoring at a call site whose
+    root cause is a definition elsewhere) carry an ``origin``: the
+    definition-site position.  A ``# reprolint: disable=`` comment on
+    *either* the anchor line or the origin line suppresses the finding,
+    so one justified comment at a definition silences every finding it
+    induces across the tree.
     """
 
     path: str
@@ -75,10 +89,12 @@ class Finding:
     rule: str
     severity: str
     message: str
+    origin_path: Optional[str] = None
+    origin_line: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable record of this finding."""
-        return {
+        record: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -86,6 +102,32 @@ class Finding:
             "severity": self.severity,
             "message": self.message,
         }
+        if self.origin_path is not None:
+            record["origin"] = {
+                "path": self.origin_path,
+                "line": self.origin_line,
+            }
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, object]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        origin = record.get("origin")
+        origin_path: Optional[str] = None
+        origin_line: Optional[int] = None
+        if isinstance(origin, dict):
+            origin_path = str(origin["path"])
+            origin_line = _coerce_int(origin["line"])
+        return cls(
+            path=str(record["path"]),
+            line=_coerce_int(record["line"]),
+            col=_coerce_int(record["col"]),
+            rule=str(record["rule"]),
+            severity=str(record["severity"]),
+            message=str(record["message"]),
+            origin_path=origin_path,
+            origin_line=origin_line,
+        )
 
     def render(self) -> str:
         """One-line human rendering (1-based column)."""
@@ -134,11 +176,27 @@ class ParsedFile:
         return "all" in on_line or rule in on_line
 
     def finding(
-        self, rule: str, severity: str, node: ast.AST, message: str
+        self,
+        rule: str,
+        severity: str,
+        node: ast.AST,
+        message: str,
+        origin: Optional[Tuple["ParsedFile", ast.AST]] = None,
     ) -> Finding:
-        """Build a finding anchored at ``node``'s position."""
+        """Build a finding anchored at ``node``'s position.
+
+        ``origin`` optionally names the definition site (file, node) a
+        cross-file finding traces back to; suppressions on that line
+        also silence the finding.
+        """
         line = int(getattr(node, "lineno", 1))
         col = int(getattr(node, "col_offset", 0))
+        origin_path: Optional[str] = None
+        origin_line: Optional[int] = None
+        if origin is not None:
+            origin_file, origin_node = origin
+            origin_path = origin_file.display
+            origin_line = int(getattr(origin_node, "lineno", 1))
         return Finding(
             path=self.display,
             line=line,
@@ -146,6 +204,8 @@ class ParsedFile:
             rule=rule,
             severity=severity,
             message=message,
+            origin_path=origin_path,
+            origin_line=origin_line,
         )
 
 
@@ -209,6 +269,19 @@ def parse_file(path: Path, display: str) -> Tuple[Optional[ParsedFile], Optional
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
 
 
+def display_for(path: Path) -> str:
+    """The cwd-relative display string a path gets in reports.
+
+    Shared by :meth:`Project.load`, the incremental cache (which keys
+    per-file records by display), and ``--changed`` target narrowing,
+    so all three agree on file identity.
+    """
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
 def discover_sources(paths: Iterable[Path]) -> List[Path]:
     """Expand files/directories into a sorted list of ``.py`` files."""
     collected: List[Path] = []
@@ -241,13 +314,8 @@ class Project:
         """Parse every ``.py`` file under ``paths`` into a project."""
         files: List[ParsedFile] = []
         errors: List[Finding] = []
-        cwd = Path.cwd()
         for source_path in discover_sources(paths):
-            try:
-                display = source_path.resolve().relative_to(cwd).as_posix()
-            except ValueError:
-                display = source_path.as_posix()
-            parsed, error = parse_file(source_path, display)
+            parsed, error = parse_file(source_path, display_for(source_path))
             if parsed is not None:
                 files.append(parsed)
             if error is not None:

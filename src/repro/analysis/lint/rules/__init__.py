@@ -15,8 +15,11 @@ from repro.analysis.lint.model import Finding, Project, severity_rank
 from repro.analysis.lint.rules import (
     api_stability,
     atomic_claim,
+    cache_flow,
     cache_key,
     determinism,
+    lease_flow,
+    numeric_flow,
     numeric_width,
     observability,
     worker_purity,
@@ -43,6 +46,9 @@ _RULE_MODULES = (
     observability,
     api_stability,
     atomic_claim,
+    cache_flow,
+    numeric_flow,
+    lease_flow,
 )
 
 

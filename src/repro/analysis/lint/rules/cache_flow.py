@@ -1,0 +1,364 @@
+"""R008 — cache-key provenance (interprocedural).
+
+R002 checks the cache-key *contract* syntactically: config fields must
+be read inside the ``_stream_request`` funnel.  That heuristic cannot
+see whether the funnel's output actually reaches a key, nor whether a
+field takes a different (legitimate) route into the hash.  R008
+replaces the path-prefix heuristic with real reachability over the
+:mod:`repro.analysis.flow` taint graph:
+
+* **completeness** — every ``ExperimentConfig`` field must have at
+  least one attribute read (``config.<field>``) whose value flows into
+  a *key sink* — a ``StreamKey``/``ChunkStreamKey``/``SweepKey``
+  construction, a key-builder call (``*_key``), or a digest call
+  (``*_digest``, e.g. the fabric plan digest) — or carry a
+  ``# reprolint: cache-exempt`` marker.  Flows cross function
+  boundaries: a field read in the funnel that travels through
+  ``**request`` unpacking into ``stream_key(...)`` three files away
+  counts.
+* **fragmentation** — the converse direction: a key in the funnel's
+  request dict that *only* ever flows into key sinks (every consumer
+  hashes it, none computes with it) fragments the cache — two configs
+  differing only in that knob would compute identical streams into
+  distinct entries.  Flagged at the funnel dict entry.
+
+When a funnel exists but has no caller in the scanned forest (partial
+fixture trees), its return value itself is treated as a key sink so
+the rule degrades to R002's structural check instead of flagging every
+field.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow import FlowProgram, program_for
+from repro.analysis.flow.callgraph import CallSite, scope_walk
+from repro.analysis.flow.dataflow import Node, ret_node
+from repro.analysis.flow.symbols import FunctionInfo
+from repro.analysis.lint.model import Finding, ParsedFile, Project
+from repro.analysis.lint.rules._common import string_constant
+from repro.analysis.lint.rules.cache_key import (
+    _CONFIG_CLASS,
+    _REQUEST_FUNCTION,
+    _dataclass_fields,
+    _is_exempt,
+)
+
+RULE_ID = "R008"
+SEVERITY = "error"
+SUMMARY = "cache-key provenance: config fields must reach a key; key inputs must matter"
+
+#: Class names whose construction is a key sink.
+_KEY_CLASSES = frozenset({"StreamKey", "ChunkStreamKey", "SweepKey"})
+
+#: Call names that count as key sinks even when unresolved (partial
+#: trees) — key builders and content digests.
+_KEY_BUILDER_RE = re.compile(r"(_key|_digest)$|^digest$")
+
+#: Names a config object travels under; attribute reads off these
+#: names seed the per-field taint.
+_CONFIG_NAMES = frozenset({"config", "cfg"})
+
+
+def _terminal_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _is_key_sink(site: CallSite, program: FlowProgram) -> bool:
+    """True when arguments of this call are hashed into a cache key."""
+    resolved_class = program.symbols.resolve_class(site.call.func, site.caller.parsed)
+    if resolved_class is not None and resolved_class.name in _KEY_CLASSES:
+        return True
+    name = _terminal_name(site.call.func)
+    if name is None:
+        return False
+    if name in _KEY_CLASSES:
+        return True
+    if site.callee is None and _KEY_BUILDER_RE.search(name):
+        return True
+    return False
+
+
+def _sink_feeders(program: FlowProgram) -> Set[Node]:
+    """Every slot that feeds a key sink's arguments directly."""
+    feeders: Set[Node] = set()
+    graph = program.graph
+    for site in program.callgraph.sites:
+        if not _is_key_sink(site, program):
+            continue
+        qualname = site.caller.qualname
+        for arg in site.call.args:
+            value = arg.value if isinstance(arg, ast.Starred) else arg
+            feeders.update(graph.expr_tokens(qualname, value))
+        for keyword in site.call.keywords:
+            feeders.update(graph.expr_tokens(qualname, keyword.value))
+    for funnel in program.symbols.functions_by_name.get(_REQUEST_FUNCTION, []):
+        if not program.callgraph.callers_of.get(funnel.qualname):
+            # No caller in the forest: the funnel's return is the best
+            # observable sink (degraded structural mode).
+            feeders.add(ret_node(funnel.qualname))
+    return feeders
+
+
+def _config_reads(program: FlowProgram, field_name: str) -> List[Node]:
+    return [
+        node
+        for node in program.graph.reads
+        if node[3] == field_name and node[2] in _CONFIG_NAMES
+    ]
+
+
+def _completeness(
+    project: Project, program: FlowProgram, keyed: Set[Node]
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for info in program.symbols.classes_by_name.get(_CONFIG_CLASS, []):
+        parsed = info.parsed
+        for name, field in _dataclass_fields(info.node):
+            if _is_exempt(parsed, field):
+                continue
+            reads = _config_reads(program, name)
+            if any(read in keyed for read in reads):
+                continue
+            if reads:
+                detail = (
+                    "it is read but none of the reads flow into a "
+                    "StreamKey/SweepKey construction or digest call"
+                )
+            else:
+                detail = "no code reads it at all"
+            findings.append(
+                parsed.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    field,
+                    f"{_CONFIG_CLASS}.{name} never flows into a cache key "
+                    f"({detail}); extend the key, or mark the field "
+                    "`# reprolint: cache-exempt` with a justification if it "
+                    "cannot affect the cached sweep",
+                )
+            )
+    return findings
+
+
+# -- fragmentation ----------------------------------------------------
+
+
+def _funnel_dicts(
+    funnel: FunctionInfo,
+) -> List[Tuple[ast.Dict, Dict[str, ast.expr]]]:
+    """Returned dict literals of a funnel, keyed by their string keys."""
+    dicts: List[Tuple[ast.Dict, Dict[str, ast.expr]]] = []
+    for node in scope_walk(funnel.node):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Dict):
+            entries: Dict[str, ast.expr] = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                text = string_constant(key) if key is not None else None
+                if text is not None:
+                    entries[text] = value
+            dicts.append((node.value, entries))
+    return dicts
+
+
+def _param_occurrences(
+    program: FlowProgram, info: FunctionInfo
+) -> Dict[str, List[Tuple[Optional[CallSite], Tuple[str, ...]]]]:
+    """For each parameter: its use sites as (enclosing call, bound params).
+
+    Each occurrence of a parameter name is classified by the innermost
+    call whose *arguments* contain it: ``(site, params-it-binds-in-the-
+    callee)``.  Occurrences outside any call argument — arithmetic,
+    returns, subscripts, receivers of method calls — get ``(None, ())``
+    and count as compute uses.
+    """
+    parents: Dict[int, ast.AST] = {}
+    for node in scope_walk(info.node):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    site_by_call = {
+        id(site.call): site for site in program.callgraph.calls_in(info.qualname)
+    }
+    wanted = set(info.params)
+    if info.kwarg:
+        wanted.add(info.kwarg)
+    if info.vararg:
+        wanted.add(info.vararg)
+    occurrences: Dict[str, List[Tuple[Optional[CallSite], Tuple[str, ...]]]] = {
+        name: [] for name in wanted
+    }
+
+    for node in scope_walk(info.node):
+        if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+            continue
+        if node.id not in wanted:
+            continue
+        # Climb to the nearest enclosing call that holds this name in
+        # an argument position.
+        current: ast.AST = node
+        classified: Tuple[Optional[CallSite], Tuple[str, ...]] = (None, ())
+        while id(current) in parents:
+            parent = parents[id(current)]
+            if isinstance(parent, ast.Call):
+                if current is parent.func:
+                    break  # receiver/callee position: compute use
+                site = site_by_call.get(id(parent))
+                if site is None:
+                    break
+                classified = (site, _bound_params(site, current))
+                break
+            current = parent
+        occurrences[node.id].append(classified)
+    return occurrences
+
+
+def _bound_params(site: CallSite, arg_root: ast.AST) -> Tuple[str, ...]:
+    """Parameter names of the callee that ``arg_root`` may bind."""
+    callee = site.callee
+    call = site.call
+    if callee is None:
+        return ()
+    positional = list(callee.positional_params)
+    offset = 0
+    if (
+        callee.class_name is not None
+        and positional
+        and positional[0] in ("self", "cls")
+        and isinstance(call.func, ast.Attribute)
+    ):
+        offset = 1
+    index = offset
+    for arg in call.args:
+        matched = arg is arg_root or any(n is arg_root for n in ast.walk(arg))
+        if isinstance(arg, ast.Starred):
+            if matched:
+                return tuple(callee.params)
+            continue
+        if matched:
+            if index < len(positional):
+                return (positional[index],)
+            return (callee.vararg,) if callee.vararg else ()
+        index += 1
+    for keyword in call.keywords:
+        matched = keyword is arg_root or any(
+            n is arg_root for n in ast.walk(keyword.value)
+        )
+        if not matched:
+            continue
+        if keyword.arg is None:
+            receivers = [p for p in callee.params if p not in ("self", "cls")]
+            if callee.kwarg:
+                receivers.append(callee.kwarg)
+            return tuple(receivers)
+        if keyword.arg in callee.params:
+            return (keyword.arg,)
+        return (callee.kwarg,) if callee.kwarg else ()
+    return ()
+
+
+def _key_only_params(program: FlowProgram) -> Set[Tuple[str, str]]:
+    """(qualname, param) pairs whose every use flows into key sinks.
+
+    Greatest fixpoint: start optimistic (every param key-only), then
+    demote any param with a compute use or a flow into a non-key-only
+    parameter, until stable.
+    """
+    occurrences: Dict[str, Dict[str, List[Tuple[Optional[CallSite], Tuple[str, ...]]]]]
+    occurrences = {}
+    key_only: Set[Tuple[str, str]] = set()
+    for info in program.symbols.functions.values():
+        per_function = _param_occurrences(program, info)
+        occurrences[info.qualname] = per_function
+        for param in per_function:
+            key_only.add((info.qualname, param))
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname, per_function in occurrences.items():
+            for param, uses in per_function.items():
+                if (qualname, param) not in key_only:
+                    continue
+                for site, bound in uses:
+                    if site is None:
+                        demote = True
+                    elif _is_key_sink(site, program):
+                        demote = False
+                    elif site.callee is None or not bound:
+                        demote = True
+                    else:
+                        demote = any(
+                            (site.callee.qualname, target) not in key_only
+                            for target in bound
+                        )
+                    if demote:
+                        key_only.discard((qualname, param))
+                        changed = True
+                        break
+    return key_only
+
+
+def _fragmentation(program: FlowProgram) -> List[Finding]:
+    findings: List[Finding] = []
+    key_only = _key_only_params(program)
+    graph = program.graph
+    for funnel in program.symbols.functions_by_name.get(_REQUEST_FUNCTION, []):
+        returned = _funnel_dicts(funnel)
+        if not returned:
+            continue
+        downstream = graph.forward_reach({ret_node(funnel.qualname)})
+        # Consumers: resolved calls receiving the funnel's dict via **.
+        consumers: List[FunctionInfo] = []
+        for site in program.callgraph.sites:
+            if site.callee is None or _is_key_sink(site, program):
+                continue
+            for keyword in site.call.keywords:
+                if keyword.arg is not None:
+                    continue
+                tokens = graph.expr_tokens(site.caller.qualname, keyword.value)
+                if tokens & downstream:
+                    consumers.append(site.callee)
+                    break
+        if not consumers:
+            continue
+        for dict_node, entries in returned:
+            for key, value in entries.items():
+                receivers: List[Tuple[str, str]] = []
+                for callee in consumers:
+                    if key in callee.params:
+                        receivers.append((callee.qualname, key))
+                    elif callee.kwarg:
+                        receivers.append((callee.qualname, callee.kwarg))
+                if receivers and all(pair in key_only for pair in receivers):
+                    findings.append(
+                        funnel.parsed.finding(
+                            RULE_ID,
+                            "warning",
+                            value,
+                            f"cache fragmentation: request key {key!r} is "
+                            "hashed into the cache key but never influences "
+                            "the computed streams (every consumer only hashes "
+                            "it) — dropping it would merge redundant cache "
+                            "entries, keeping it must be justified",
+                            origin=(funnel.parsed, dict_node),
+                        )
+                    )
+    return findings
+
+
+def check(project: Project) -> List[Finding]:
+    program = program_for(project)
+    if not program.symbols.classes_by_name.get(_CONFIG_CLASS) and not (
+        program.symbols.functions_by_name.get(_REQUEST_FUNCTION)
+    ):
+        return []
+    keyed = program.graph.reverse_reach(_sink_feeders(program))
+    findings = _completeness(project, program, keyed)
+    findings.extend(_fragmentation(program))
+    return findings

@@ -6,22 +6,20 @@ into the ``StreamKey``/``ChunkStreamKey`` hash, or a config change will
 silently replay stale cached results (the same bug class as the fixed
 ``_maybe_gcirs`` name-sniffing).
 
-The rule cross-checks three declarations that live in different files:
+The rule cross-checks two structural declarations that live in
+different files (the third direction — does each config field actually
+*flow* into a key — moved to the interprocedural R008 in
+:mod:`repro.analysis.lint.rules.cache_flow`):
 
-* every field of the ``ExperimentConfig`` dataclass must either be read
-  off the config object inside ``_stream_request`` (the single funnel
-  that turns a config into cache-key kwargs) or carry a
-  ``# reprolint: cache-exempt`` marker asserting it cannot affect the
-  cached sweep (post-sweep analysis knobs, execution knobs);
 * every field of the ``StreamKey`` dataclass must appear as a key in the
   request dictionary ``_stream_request`` builds — a key field nothing
   populates would hash a default forever;
 * every derived key class (``ChunkStreamKey``, ``SweepKey``) must
   subclass ``StreamKey`` so its cache tier inherits the full key.
 
-All three anchors are found by name, and each config/key class is bound
-to the ``_stream_request`` definition sharing the longest directory
-prefix with it, so the rule works on fixture trees as well as on
+Both anchors are found by name, and each key class is bound to the
+``_stream_request`` definition sharing the longest directory prefix
+with it, so the rule works on fixture trees as well as on
 ``src/repro`` — even when one lint run scans both at once.
 """
 
@@ -35,7 +33,7 @@ from repro.analysis.lint.rules._common import string_constant
 
 RULE_ID = "R002"
 SEVERITY = "error"
-SUMMARY = "cache-key completeness: ExperimentConfig fields vs StreamKey-family hashing"
+SUMMARY = "cache-key structure: StreamKey population and key-class inheritance"
 
 _REQUEST_FUNCTION = "_stream_request"
 _CONFIG_CLASS = "ExperimentConfig"
@@ -118,18 +116,6 @@ def _is_exempt(parsed: ParsedFile, field: ast.AnnAssign) -> bool:
     return False
 
 
-def _attribute_reads(function: ast.FunctionDef, owner: str) -> Set[str]:
-    reads: Set[str] = set()
-    for node in ast.walk(function):
-        if (
-            isinstance(node, ast.Attribute)
-            and isinstance(node.value, ast.Name)
-            and node.value.id == owner
-        ):
-            reads.add(node.attr)
-    return reads
-
-
 def _request_dict_keys(function: ast.FunctionDef) -> Set[str]:
     keys: Set[str] = set()
     for node in ast.walk(function):
@@ -141,39 +127,9 @@ def _request_dict_keys(function: ast.FunctionDef) -> Set[str]:
     return keys
 
 
-def _config_param(function: ast.FunctionDef) -> Optional[str]:
-    args = function.args
-    ordered = list(args.posonlyargs) + list(args.args)
-    if ordered:
-        return ordered[0].arg
-    return None
-
-
 def check(project: Project) -> List[Finding]:
     findings: List[Finding] = []
     requests = _find_functions(project, _REQUEST_FUNCTION)
-
-    for parsed, class_def in _find_class(project, _CONFIG_CLASS):
-        request = _closest_request(requests, parsed)
-        if request is None:
-            continue
-        _, request_def = request
-        param = _config_param(request_def)
-        reads = _attribute_reads(request_def, param) if param else set()
-        for name, field in _dataclass_fields(class_def):
-            if name in reads or _is_exempt(parsed, field):
-                continue
-            findings.append(
-                parsed.finding(
-                    RULE_ID,
-                    SEVERITY,
-                    field,
-                    f"{_CONFIG_CLASS}.{name} is never hashed into the stream "
-                    f"cache key ({_REQUEST_FUNCTION} does not read it); extend "
-                    "the key, or mark the field `# reprolint: cache-exempt` "
-                    "with a justification if it cannot affect the cached sweep",
-                )
-            )
 
     key_classes = _find_class(project, _KEY_CLASS)
     for parsed, class_def in key_classes:

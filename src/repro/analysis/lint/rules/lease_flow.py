@@ -1,0 +1,301 @@
+"""R010 — lease-ownership discipline (interprocedural).
+
+R007 checks how lease files are *created* (always ``O_EXCL``, never
+check-then-act).  R010 checks what a fabric worker does with a lease
+once the protocol exists: **every filesystem write to shared fabric or
+cache artifacts reachable from a worker entrypoint must happen inside
+a held-lease region** — two workers that both believe they own a work
+unit otherwise interleave writes into the same artifact.
+
+The analysis, per function in the forest:
+
+* **held regions** — lexical spans where a lease is provably held:
+  ``with <lease-like>:`` bodies, and claim→release spans (``x =
+  try_acquire_lease(...)`` down to ``x.release()``);
+* **write sites** — calls to filesystem write primitives (``open``
+  with a writing mode, ``write_text``/``write_bytes``, ``os.replace``
+  / ``os.rename``, ``np.savez*``, ``unlink``/``remove``, ``os.open``
+  with creating flags).  Targets that mention the lease machinery
+  itself (``lease``/``claim``/``tombstone``/``heartbeat`` tokens) are
+  the *protocol*, not protected payload, and are exempt;
+* **summary fixpoint** — ``unheld_writes[f]``: write sites reachable
+  from ``f`` through call chains that never pass a held region;
+* **frontier findings** — from each worker entrypoint (a
+  ``*worker*``-named function in a ``fabric/`` subtree), every unheld
+  call site whose callee's summary is non-empty — anchored at the call
+  the worker makes, with the underlying write site as the finding's
+  *origin* (so one suppression at either end covers the race).  Writes
+  are only flagged when the evidence mentions a shared-artifact token
+  (``cache``/``report``/``metrics``/``plan``/``fabric``/...), keeping
+  scratch-file writes quiet.
+
+Calls *into* the lease machinery (functions whose name mentions
+lease/claim) are never traversed: acquiring, beating, and releasing a
+lease is by definition done while not holding it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.flow import FlowProgram, program_for
+from repro.analysis.flow.callgraph import CallSite, scope_walk
+from repro.analysis.flow.symbols import FunctionInfo
+from repro.analysis.lint.model import Finding, Project
+
+RULE_ID = "R010"
+SEVERITY = "error"
+SUMMARY = "lease ownership: fabric workers write shared artifacts only under a held lease"
+
+_LEASE_RE = re.compile(r"lease|claim|tombstone|heartbeat|acquire", re.IGNORECASE)
+_SHARED_RE = re.compile(
+    r"cache|report|metric|plan|artifact|fabric|manifest|result|merge", re.IGNORECASE
+)
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+_RENAME_CALLS = frozenset({"replace", "rename", "move", "copy", "copyfile", "link"})
+_SAVE_CALLS = frozenset({"savez", "savez_compressed", "save"})
+_DELETE_CALLS = frozenset({"unlink", "remove"})
+_WRITE_MODES = re.compile(r"[wax+]")
+
+
+def _expr_text_tokens(node: Optional[ast.AST]) -> List[str]:
+    """Identifier-ish tokens written in an expression (names, attrs, strings)."""
+    if node is None:
+        return []
+    tokens: List[str] = []
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            tokens.append(child.id)
+        elif isinstance(child, ast.Attribute):
+            tokens.append(child.attr)
+        elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+            tokens.append(child.value)
+        elif isinstance(child, ast.keyword) and child.arg:
+            tokens.append(child.arg)
+    return tokens
+
+
+def _mentions(node: Optional[ast.AST], pattern: "re.Pattern[str]") -> bool:
+    return any(pattern.search(token) for token in _expr_text_tokens(node))
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _write_target(call: ast.Call) -> Optional[ast.AST]:
+    """The path-like expression a write-primitive call mutates, or None."""
+    name = _call_name(call)
+    if name is None:
+        return None
+    if name == "open":
+        mode: Optional[str] = None
+        if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            if isinstance(call.args[1].value, str):
+                mode = call.args[1].value
+        for keyword in call.keywords:
+            if keyword.arg == "mode" and isinstance(keyword.value, ast.Constant):
+                if isinstance(keyword.value.value, str):
+                    mode = keyword.value.value
+        if mode is None or not _WRITE_MODES.search(mode):
+            return None
+        if isinstance(call.func, ast.Attribute):
+            return call.func.value  # path.open("w") — receiver is the target
+        return call.args[0] if call.args else None
+    if name in _WRITE_METHODS and isinstance(call.func, ast.Attribute):
+        return call.func.value
+    if name in _RENAME_CALLS and isinstance(call.func, ast.Attribute):
+        # os.replace(src, dst) / shutil.move(src, dst): flag the dest.
+        if len(call.args) >= 2:
+            return call.args[1]
+        if isinstance(call.func, ast.Attribute) and call.args:
+            # path.rename(target)
+            return call.args[0]
+        return None
+    if name in _SAVE_CALLS:
+        return call.args[0] if call.args else None
+    if name in _DELETE_CALLS:
+        if isinstance(call.func, ast.Attribute) and not call.args:
+            return call.func.value  # path.unlink()
+        return call.args[0] if call.args else None
+    return None
+
+
+def _os_open_write(call: ast.Call) -> Optional[ast.AST]:
+    if _call_name(call) != "open" or not isinstance(call.func, ast.Attribute):
+        return None
+    flag_text = " ".join(_expr_text_tokens(ast.Tuple(elts=list(call.args[1:]), ctx=ast.Load())))
+    if "O_WRONLY" in flag_text or "O_RDWR" in flag_text or "O_CREAT" in flag_text:
+        return call.args[0] if call.args else None
+    return None
+
+
+def _held_spans(info: FunctionInfo) -> List[Tuple[int, int]]:
+    """Line ranges of ``info`` within which a lease is held."""
+    spans: List[Tuple[int, int]] = []
+    claims: Dict[str, int] = {}
+    for node in scope_walk(info.node):
+        if isinstance(node, ast.With):
+            for item in node.items:
+                if _mentions(item.context_expr, _LEASE_RE):
+                    end = int(getattr(node, "end_lineno", node.lineno))
+                    spans.append((node.lineno, end))
+                    break
+        elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            if _mentions(node.value.func, _LEASE_RE):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        claims[target.id] = node.lineno
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr == "release" and isinstance(node.func.value, ast.Name):
+                start = claims.get(node.func.value.id)
+                if start is not None:
+                    spans.append((start, node.lineno))
+    return spans
+
+
+def _in_spans(line: int, spans: List[Tuple[int, int]]) -> bool:
+    return any(start <= line <= end for start, end in spans)
+
+
+#: One summarized write hazard: (display, line, shared-evidence, text).
+_WriteRecord = Tuple[str, int, bool, str]
+
+
+def _own_unheld_writes(info: FunctionInfo) -> List[Tuple[ast.Call, ast.AST, bool]]:
+    """(call, target, shared?) for each unheld write primitive in ``info``."""
+    spans = _held_spans(info)
+    writes: List[Tuple[ast.Call, ast.AST, bool]] = []
+    for node in scope_walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _write_target(node) or _os_open_write(node)
+        if target is None:
+            continue
+        if _mentions(target, _LEASE_RE) or _mentions(node, _LEASE_RE):
+            continue  # the lease protocol itself (R007's domain)
+        if _in_spans(node.lineno, spans):
+            continue
+        writes.append((node, target, _mentions(target, _SHARED_RE)))
+    return writes
+
+
+def _is_entrypoint(info: FunctionInfo) -> bool:
+    if not info.parsed.in_subtree("fabric"):
+        return False
+    return "worker" in info.name or info.name == "main"
+
+
+def check(project: Project) -> List[Finding]:
+    program = program_for(project)
+    if not any(
+        info.parsed.in_subtree("fabric")
+        for info in program.symbols.functions.values()
+    ):
+        return []
+
+    own_writes: Dict[str, List[Tuple[ast.Call, ast.AST, bool]]] = {}
+    unheld_calls: Dict[str, List[CallSite]] = {}
+    for info in program.symbols.functions.values():
+        own_writes[info.qualname] = _own_unheld_writes(info)
+        spans = _held_spans(info)
+        unheld_calls[info.qualname] = [
+            site
+            for site in program.callgraph.calls_in(info.qualname)
+            if site.callee is not None
+            and not _in_spans(site.line, spans)
+            and not _LEASE_RE.search(site.callee.name)
+            and not _mentions(site.call.func, _LEASE_RE)
+        ]
+
+    # Fixpoint: write hazards reachable through never-held call chains.
+    summary: Dict[str, List[_WriteRecord]] = {}
+    for qualname, writes in own_writes.items():
+        info = program.symbols.functions[qualname]
+        summary[qualname] = [
+            (info.parsed.display, call.lineno, shared, _describe(target))
+            for call, target, shared in writes
+        ]
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in unheld_calls.items():
+            current = summary.get(qualname, [])
+            merged: Dict[Tuple[str, int], _WriteRecord] = {
+                (record[0], record[1]): record for record in current
+            }
+            for site in sites:
+                assert site.callee is not None
+                for record in summary.get(site.callee.qualname, []):
+                    merged.setdefault((record[0], record[1]), record)
+            if len(merged) != len(current):
+                summary[qualname] = sorted(merged.values())
+                changed = True
+
+    findings: List[Finding] = []
+    for info in program.symbols.functions.values():
+        if not _is_entrypoint(info):
+            continue
+        # Direct unheld writes in the entrypoint itself.
+        for call, target, shared in own_writes.get(info.qualname, []):
+            if not shared:
+                continue
+            findings.append(
+                info.parsed.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    call,
+                    f"worker {info.name!r} writes shared artifact "
+                    f"{_describe(target)!r} outside any held-lease region; "
+                    "move the write under the lease or justify a suppression",
+                )
+            )
+        # Unheld calls whose callee closure writes shared artifacts.
+        for site in unheld_calls.get(info.qualname, []):
+            assert site.callee is not None
+            records = summary.get(site.callee.qualname, [])
+            if not records:
+                continue
+            evidence = [r for r in records if r[2]] or (
+                records if _mentions(site.call, _SHARED_RE) else []
+            )
+            if not evidence:
+                continue
+            display, line, _shared, text = evidence[0]
+            origin_file = program.symbols.modules.get(
+                program.symbols.module_of.get(display, ""),
+            )
+            findings.append(
+                info.parsed.finding(
+                    RULE_ID,
+                    SEVERITY,
+                    site.call,
+                    f"worker {info.name!r} calls {site.callee.name!r} outside "
+                    f"any held-lease region, and that call writes the shared "
+                    f"artifact {text!r} ({display}:{line}); hold the lease "
+                    "across the write or justify a suppression",
+                    origin=(origin_file, _line_marker(line))
+                    if origin_file is not None
+                    else None,
+                )
+            )
+    return findings
+
+
+def _describe(target: ast.AST) -> str:
+    tokens = _expr_text_tokens(target)
+    return ".".join(tokens[:3]) if tokens else "<path>"
+
+
+class _line_marker(ast.AST):
+    """Minimal position-carrying stand-in for an AST node."""
+
+    def __init__(self, line: int) -> None:
+        self.lineno = line
+        self.col_offset = 0

@@ -1,0 +1,165 @@
+"""R009 — dtype/width abstract interpretation.
+
+R004 checks dtype *syntax*: allocators must name a dtype, masks must be
+built from width parameters.  R009 checks dtype *flow*: it runs the
+:mod:`repro.analysis.flow.dtypes` abstract interpreter over every
+function in scope and flags places where numpy would silently change a
+width behind the reproduction's back:
+
+* **platform-default integers** — ``np.arange(...)`` (and
+  ``cumsum``/``sum``-family accumulation over narrow ints) without an
+  explicit ``dtype`` produces ``np.int_``, whose width depends on the
+  host platform: the same trace hashes to the same cache key but
+  simulates with different arithmetic on 32-bit platforms.  Scoped to
+  ``sim``/``core``/``experiments`` subtrees;
+* **implicit upcasts** — rebinding a name from a concrete integer
+  width to a float (or to a wider integer) without an ``astype`` means
+  a kernel's working set silently doubled and comparisons may stop
+  being exact.  Scoped to the numeric kernels (``sim``/``core``);
+* **float operands in bit arithmetic** — ``&``/``|``/``^``/shifts on
+  an operand inferred as floating point raises at runtime for arrays
+  and truncates for scalars; either way the width contract is gone.
+  Scoped to ``sim``/``core``;
+* **narrowing constructor overflow** — ``np.uint8(300)`` wraps
+  silently; flagged everywhere with the literal and the width.
+
+The interprocedural return summaries mean a helper that allocates with
+the right dtype clears its callers, and one that leaks a platform int
+taints them — across files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.flow import program_for
+from repro.analysis.flow.callgraph import scope_walk
+from repro.analysis.flow.dtypes import (
+    ACCUMULATORS,
+    INT_WIDTHS,
+    PLATFORM,
+    DtypeInference,
+    is_float,
+    return_summaries,
+)
+from repro.analysis.lint.model import Finding, Project
+from repro.analysis.lint.rules._common import int_constant
+
+RULE_ID = "R009"
+SEVERITY = "warning"
+SUMMARY = "dtype flow: no platform ints, implicit upcasts, or float bit-arithmetic"
+
+#: Subtrees where a platform-default integer is a portability hazard.
+_PLATFORM_SCOPES = ("sim", "core", "experiments")
+#: Subtrees holding the numeric kernels (upcast / bit-arithmetic checks).
+_KERNEL_SCOPES = ("sim", "core")
+
+_NARROW_LIMITS = {
+    "int8": (-128, 127),
+    "uint8": (0, 255),
+    "int16": (-32768, 32767),
+    "uint16": (0, 65535),
+}
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def check(project: Project) -> List[Finding]:
+    program = program_for(project)
+    inference = DtypeInference(program.symbols)
+    return_summaries(program.symbols, inference)
+
+    findings: List[Finding] = []
+    for info in program.symbols.functions.values():
+        parsed = info.parsed
+        in_platform_scope = parsed.in_subtree(*_PLATFORM_SCOPES)
+        in_kernel_scope = parsed.in_subtree(*_KERNEL_SCOPES)
+        env, rebinds = inference.function_env(info)
+
+        for node in scope_walk(info.node):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name is None:
+                    continue
+                token = inference.infer(node, env, info)
+                if (
+                    in_platform_scope
+                    and token == PLATFORM
+                    and (name == "arange" or name in ACCUMULATORS)
+                ):
+                    findings.append(
+                        parsed.finding(
+                            RULE_ID,
+                            SEVERITY,
+                            node,
+                            f"{name}() yields the platform-default integer "
+                            "(np.int_) here — its width differs across hosts; "
+                            "pass an explicit dtype (e.g. dtype=np.int64)",
+                        )
+                    )
+                limits = _NARROW_LIMITS.get(name or "")
+                if limits is not None and node.args:
+                    literal = int_constant(node.args[0])
+                    if literal is not None and not (
+                        limits[0] <= literal <= limits[1]
+                    ):
+                        findings.append(
+                            parsed.finding(
+                                RULE_ID,
+                                SEVERITY,
+                                node,
+                                f"np.{name}({literal}) overflows the "
+                                f"{name} range [{limits[0]}, {limits[1]}] "
+                                "and wraps silently",
+                            )
+                        )
+            elif isinstance(node, ast.BinOp) and in_kernel_scope:
+                if isinstance(
+                    node.op,
+                    (ast.BitAnd, ast.BitOr, ast.BitXor, ast.LShift, ast.RShift),
+                ):
+                    for operand in (node.left, node.right):
+                        token = inference.infer(operand, env, info)
+                        if is_float(token):
+                            findings.append(
+                                parsed.finding(
+                                    RULE_ID,
+                                    SEVERITY,
+                                    node,
+                                    f"bit arithmetic on a {token} operand — "
+                                    "floats have no stable bit width here; "
+                                    "cast to an explicit integer dtype first",
+                                )
+                            )
+                            break
+
+        if not in_kernel_scope:
+            continue
+        for name, old, new, node in rebinds:
+            upcast = (
+                old in INT_WIDTHS
+                and (
+                    new in ("float32", "float64")
+                    or (new in INT_WIDTHS and INT_WIDTHS[new] > INT_WIDTHS[old])
+                )
+            )
+            if upcast:
+                findings.append(
+                    parsed.finding(
+                        RULE_ID,
+                        SEVERITY,
+                        node,
+                        f"{name!r} silently changes dtype {old} -> {new}; "
+                        "if the widening is intended make it explicit with "
+                        "astype, otherwise keep the arithmetic at "
+                        f"{old}",
+                    )
+                )
+    return findings

@@ -8,9 +8,10 @@ point).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.curves import ConfidenceCurve
+from repro.analysis.metrics import ConfusionCounts
 
 _MARKERS = "*o+x#@%&"
 
@@ -51,7 +52,7 @@ def ascii_curve_plot(
             row, col = cell(point.dynamic_percent, point.misprediction_percent)
             grid[row][col] = marker
 
-    lines = []
+    lines: List[str] = []
     if title:
         lines.append(title)
     legend = "   ".join(
@@ -87,7 +88,7 @@ def format_curve_table(
     return "\n".join(lines)
 
 
-def format_metric_summary(metrics_by_name: Dict[str, "object"]) -> str:
+def format_metric_summary(metrics_by_name: Dict[str, ConfusionCounts]) -> str:
     """Render SENS/SPEC/PVP/PVN rows per mechanism.
 
     ``metrics_by_name`` maps a mechanism name to a

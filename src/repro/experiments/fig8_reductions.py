@@ -57,7 +57,7 @@ def _ones_count_statistics(
 ) -> Dict[str, BucketStatistics]:
     """Regroup raw pattern statistics by popcount (ones counting)."""
     reduction = OnesCountReduction(config.cir_bits)
-    mapping = reduction.vectorized(np.arange(1 << config.cir_bits))
+    mapping = reduction.vectorized(np.arange(1 << config.cir_bits, dtype=np.int64))
     return {
         name: stats.regrouped(mapping, num_buckets=reduction.num_buckets)
         for name, stats in pattern_statistics.items()

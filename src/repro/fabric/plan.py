@@ -30,7 +30,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import _stream_request
@@ -76,8 +76,12 @@ class WorkUnit:
     deps: Tuple[str, ...] = ()
 
     @property
-    def request(self) -> Dict[str, object]:
-        """The payload as the keyword dict the cache layer consumes."""
+    def request(self) -> Dict[str, Any]:
+        """The payload as the keyword dict the cache layer consumes.
+
+        Typed ``Any``-valued because it is ``**``-unpacked into the
+        cache layer's fully-annotated keyword signatures.
+        """
         return dict(self.payload)
 
     @property

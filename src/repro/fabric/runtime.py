@@ -33,7 +33,7 @@ import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import observability
 from repro.experiments.config import ExperimentConfig
@@ -213,7 +213,7 @@ def run_worker(
     result = WorkerResult(owner=owner)
     start = time.perf_counter()
 
-    done: set = set()
+    done: Set[str] = set()
     # Dependencies may live outside the phase (a report phase depends on
     # stream units computed in an earlier phase); those are judged
     # directly against the cache rather than against this pass.
@@ -307,7 +307,10 @@ def run_worker(
     metrics_name = (
         f"{owner}.{options.phase}.json" if options.phase else f"{owner}.json"
     )
-    _write_json_atomic(
+    # The metrics file is named after this worker's unique owner id, so
+    # no two workers can ever contend on it — it is per-worker state,
+    # not a shared artifact, and needs no lease.
+    _write_json_atomic(  # reprolint: disable=R010 - owner-unique file, never contended
         _metrics_dir(fabric_dir) / metrics_name,
         {
             "format": FABRIC_FORMAT,

@@ -1,0 +1,33 @@
+"""R010 positive fixture: a worker writing shared state with no lease held.
+
+``run_worker`` reaches the ``open(..., "w")`` inside ``_write_result``
+outside any ``with lease:`` region — two workers could interleave on
+``results.json``.  The finding anchors at the frontier call in the
+worker and carries the underlying write site as its origin.
+"""
+
+import json
+import os
+
+
+class Lease:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+def _write_result(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def run_worker(cache_dir, units):
+    results = []
+    for unit in units:
+        results.append(unit * 2)
+    _write_result(os.path.join(cache_dir, "results.json"), results)
+    return results

@@ -1,0 +1,28 @@
+"""R010 negative fixture: the same shared write, dominated by the lease."""
+
+import json
+import os
+
+
+class Lease:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return None
+
+
+def _write_result(path, payload):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+
+
+def run_worker(cache_dir, units, lease):
+    results = []
+    with lease:
+        for unit in units:
+            results.append(unit * 2)
+        _write_result(os.path.join(cache_dir, "results.json"), results)
+    return results

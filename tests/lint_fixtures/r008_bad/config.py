@@ -1,0 +1,18 @@
+"""R008 positive fixture: two provenance violations, one per direction.
+
+* ``speculative_depth`` is read (``warmup_batches`` in ``runner.py``)
+  but the value never flows into a key construction — changing it
+  would replay a stale cached stream;
+* ``trace_label`` is never read anywhere.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    trace_length: int = 1_000
+    seed: int = 0
+    notes: str = "baseline"
+    speculative_depth: int = 4
+    trace_label: str = "dis"

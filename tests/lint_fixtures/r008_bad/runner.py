@@ -1,0 +1,48 @@
+"""R008 positive fixture: funnel, key, and a fragmenting request key.
+
+The ``notes`` request key flows into ``StreamKey`` but its only
+consumer hashes it — no simulation arithmetic ever touches it, so two
+configs differing only in ``notes`` would compute identical streams
+into distinct cache entries (fragmentation, the converse violation).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    benchmark: str
+    length: int
+    seed: int
+    notes: str
+
+
+def _stream_request(config, benchmark):
+    return {
+        "benchmark": benchmark,
+        "length": config.trace_length,
+        "seed": config.seed,
+        "notes": config.notes,
+    }
+
+
+def warmup_batches(config):
+    # Reads speculative_depth, but the value dies here: it never
+    # reaches a key, so cached streams ignore the knob.
+    return [0] * config.speculative_depth
+
+
+def _simulate_stream(benchmark, length, seed, notes):
+    label = benchmark.upper()
+    state = seed
+    for _ in range(length):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+    key = StreamKey(benchmark=benchmark, length=length, seed=seed, notes=notes)
+    return key, state, label
+
+
+def run(config, benchmark):
+    request = _stream_request(config, benchmark)
+    warmup = warmup_batches(config)
+    key, state, label = _simulate_stream(**request)
+    return key, state, label, warmup

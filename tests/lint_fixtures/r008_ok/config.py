@@ -1,0 +1,11 @@
+"""R008 negative fixture: every field is keyed or justifiably exempt."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    trace_length: int = 1_000
+    seed: int = 0
+    speculative_depth: int = 4
+    log_level: str = "info"  # reprolint: cache-exempt - presentation only

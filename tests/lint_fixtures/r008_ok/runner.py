@@ -1,0 +1,34 @@
+"""R008 negative fixture: every request key is hashed *and* computed on."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    benchmark: str
+    length: int
+    seed: int
+    depth: int
+
+
+def _stream_request(config, benchmark):
+    return {
+        "benchmark": benchmark,
+        "length": config.trace_length,
+        "seed": config.seed,
+        "depth": config.speculative_depth,
+    }
+
+
+def _simulate_stream(benchmark, length, seed, depth):
+    label = benchmark.upper()
+    state = seed ^ depth
+    for _ in range(length):
+        state = (state * 25214903917 + 11) % (1 << 48)
+    key = StreamKey(benchmark=benchmark, length=length, seed=seed, depth=depth)
+    return key, state, label
+
+
+def run(config, benchmark):
+    request = _stream_request(config, benchmark)
+    return _simulate_stream(**request)

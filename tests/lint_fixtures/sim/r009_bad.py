@@ -1,0 +1,27 @@
+"""R009 positive fixture: each dtype-flow hazard kind once."""
+
+import numpy as np
+
+
+def pattern_table(cir_bits):
+    patterns = np.arange(1 << cir_bits)  # platform-default np.int_
+    counts = np.zeros(1 << cir_bits, dtype=np.int32)
+    totals = counts.cumsum()  # narrow int accumulates at platform width
+    return patterns, totals
+
+
+def fold(history, mask_bits):
+    scale = history / 2  # true division: float64 from here on
+    folded = scale & ((1 << mask_bits) - 1)  # bit arithmetic on a float
+    return folded
+
+
+def accumulate(values):
+    total = np.int32(0)
+    for value in values:
+        total = total + 0.5  # silently rebinds int32 -> float64
+    return total
+
+
+def small_mask():
+    return np.uint8(511)  # wraps: uint8 tops out at 255

@@ -1,0 +1,27 @@
+"""R009 negative fixture: explicit widths survive the same shapes."""
+
+import numpy as np
+
+
+def pattern_table(cir_bits):
+    patterns = np.arange(1 << cir_bits, dtype=np.int64)
+    counts = np.zeros(1 << cir_bits, dtype=np.int64)
+    totals = counts.cumsum()  # already int64: accumulation keeps the width
+    return patterns, totals
+
+
+def fold(history, mask_bits):
+    scale = history // 2  # floor division stays integral
+    folded = scale & ((1 << mask_bits) - 1)
+    return folded
+
+
+def accumulate(values):
+    total = np.int64(0)
+    for value in values:
+        total = total + 1  # int64 + python int stays int64
+    return total
+
+
+def small_mask():
+    return np.uint8(255)

@@ -1,0 +1,307 @@
+"""reproflow integration tests: definition-site suppression, the
+incremental cache, and ``--changed`` target narrowing."""
+
+import json
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint.changed import ChangedError, changed_targets
+from repro.analysis.lint.cli import main as lint_main
+from repro.analysis.lint.engine import run_lint
+from repro.analysis.lint.model import Finding
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+UNSEEDED = "import numpy as np\n\n\ndef draw():\n    return np.random.default_rng()\n"
+
+
+# ----- cross-file (definition-site) suppression ------------------------------
+
+
+def _r010_tree(tmp_path, *, disable_on_write_site=False, rule="R010"):
+    fabric = tmp_path / "fabric"
+    fabric.mkdir()
+    source = (FIXTURES / "fabric" / "r010_bad.py").read_text()
+    if disable_on_write_site:
+        # The origin anchors at the publish into the shared path.
+        source = source.replace(
+            "os.replace(tmp, path)",
+            f"os.replace(tmp, path)  # reprolint: disable={rule} - single writer",
+        )
+    (fabric / "runtime.py").write_text(source)
+    return fabric
+
+
+def test_r010_finding_carries_definition_site_origin(tmp_path):
+    fabric = _r010_tree(tmp_path)
+    result = run_lint([fabric], select=frozenset({"R010"}))
+    (finding,) = result.findings
+    assert finding.origin_path == finding.path
+    assert finding.origin_line is not None
+
+
+def test_cross_file_finding_suppressible_at_definition_site(tmp_path):
+    # The disable comment sits on the open() inside the helper — not on
+    # the worker call the finding anchors at — and still silences it.
+    fabric = _r010_tree(tmp_path, disable_on_write_site=True)
+    result = run_lint([fabric], select=frozenset({"R010"}))
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_definition_site_suppression_is_rule_specific(tmp_path):
+    fabric = _r010_tree(tmp_path, disable_on_write_site=True, rule="R007")
+    result = run_lint([fabric], select=frozenset({"R010"}))
+    assert result.exit_code == 1
+    assert result.suppressed == 0
+
+
+def test_r008_disable_on_field_line_beats_missing_exemption(tmp_path):
+    for name in ("config.py", "runner.py"):
+        (tmp_path / name).write_text((FIXTURES / "r008_bad" / name).read_text())
+    config = tmp_path / "config.py"
+    config.write_text(
+        config.read_text().replace(
+            "    trace_label: str = \"dis\"",
+            "    trace_label: str = \"dis\"  # reprolint: disable=R008 - label only",
+        )
+    )
+    result = run_lint([tmp_path], select=frozenset({"R008"}))
+    assert "trace_label" not in " ".join(f.message for f in result.findings)
+    assert result.suppressed == 1
+    # The other two violations still fire.
+    assert result.exit_code == 1
+
+
+def test_finding_origin_round_trips_through_json():
+    finding = Finding(
+        path="a.py", line=3, col=1, rule="R010", severity="error",
+        message="m", origin_path="b.py", origin_line=9,
+    )
+    assert Finding.from_dict(finding.to_dict()) == finding
+    plain = Finding(path="a.py", line=3, col=1, rule="R001",
+                    severity="warning", message="m")
+    assert "origin" not in plain.to_dict()
+    assert Finding.from_dict(plain.to_dict()) == plain
+
+
+# ----- incremental mode ------------------------------------------------------
+
+
+def _two_cluster_tree(tmp_path):
+    tree = tmp_path / "tree"
+    for name in ("cluster1", "cluster2"):
+        (tree / name).mkdir(parents=True)
+    for name in ("config.py", "runner.py"):
+        (tree / "cluster1" / name).write_text(
+            (FIXTURES / "r008_ok" / name).read_text()
+        )
+    (tree / "cluster2" / "mod.py").write_text(UNSEEDED)
+    return tree
+
+
+def test_incremental_warm_run_is_exact_and_byte_identical(tmp_path):
+    tree = _two_cluster_tree(tmp_path)
+    cache = tmp_path / "cache"
+    cold = run_lint([tree], cache_dir=cache)
+    assert cold.analyzed is not None and len(cold.analyzed) == 3
+    warm = run_lint([tree], cache_dir=cache)
+    assert warm.analyzed == ()
+    assert warm.findings == cold.findings
+    assert warm.suppressed == cold.suppressed
+    assert json.dumps(warm.to_dict(), sort_keys=True) == json.dumps(
+        dict(cold.to_dict(), analyzed=[]), sort_keys=True
+    )
+
+
+def test_incremental_edit_reanalyzes_only_the_dependent_cluster(tmp_path):
+    tree = _two_cluster_tree(tmp_path)
+    cache = tmp_path / "cache"
+    cold = run_lint([tree], cache_dir=cache)
+    target = tree / "cluster2" / "mod.py"
+    target.write_text(target.read_text() + "\n# touched\n")
+    warm = run_lint([tree], cache_dir=cache)
+    assert warm.analyzed == (str(target.as_posix()),)
+    assert warm.findings == cold.findings
+    # A full fresh run agrees with the partially-replayed one.
+    fresh = run_lint([tree])
+    assert [f.to_dict() for f in warm.findings] == [
+        f.to_dict() for f in fresh.findings
+    ]
+
+
+def test_incremental_edit_in_one_cluster_spares_the_other(tmp_path):
+    tree = _two_cluster_tree(tmp_path)
+    cache = tmp_path / "cache"
+    run_lint([tree], cache_dir=cache)
+    runner = tree / "cluster1" / "runner.py"
+    runner.write_text(runner.read_text() + "\n# touched\n")
+    warm = run_lint([tree], cache_dir=cache)
+    assert warm.analyzed is not None
+    assert set(warm.analyzed) == {
+        str((tree / "cluster1" / "config.py").as_posix()),
+        str((tree / "cluster1" / "runner.py").as_posix()),
+    }
+
+
+def test_incremental_removal_drops_cached_findings(tmp_path):
+    tree = _two_cluster_tree(tmp_path)
+    cache = tmp_path / "cache"
+    cold = run_lint([tree], cache_dir=cache)
+    assert any(f.rule == "R001" for f in cold.findings)
+    (tree / "cluster2" / "mod.py").unlink()
+    warm = run_lint([tree], cache_dir=cache)
+    assert warm.analyzed == ()
+    assert all(f.rule != "R001" for f in warm.findings)
+    assert warm.files_checked == 2
+
+
+def test_incremental_rule_change_forces_full_reanalysis(tmp_path):
+    tree = _two_cluster_tree(tmp_path)
+    cache = tmp_path / "cache"
+    run_lint([tree], cache_dir=cache)
+    narrowed = run_lint([tree], cache_dir=cache, select=frozenset({"R001"}))
+    assert narrowed.analyzed is not None and len(narrowed.analyzed) == 3
+    assert {f.rule for f in narrowed.findings} == {"R001"}
+
+
+def test_incremental_survives_corrupt_cache(tmp_path):
+    tree = _two_cluster_tree(tmp_path)
+    cache = tmp_path / "cache"
+    cold = run_lint([tree], cache_dir=cache)
+    (cache / "state.json").write_text("{ not json")
+    recovered = run_lint([tree], cache_dir=cache)
+    assert recovered.analyzed is not None and len(recovered.analyzed) == 3
+    assert recovered.findings == cold.findings
+
+
+def test_incremental_replays_suppressed_counts(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "mod.py").write_text(UNSEEDED.replace(
+        "np.random.default_rng()",
+        "np.random.default_rng()  # reprolint: disable=R001 - timing only",
+    ))
+    cache = tmp_path / "cache"
+    cold = run_lint([tree], cache_dir=cache)
+    warm = run_lint([tree], cache_dir=cache)
+    assert cold.suppressed == warm.suppressed == 1
+    assert warm.findings == []
+
+
+# ----- --changed -------------------------------------------------------------
+
+needs_git = pytest.mark.skipif(shutil.which("git") is None, reason="no git")
+
+
+def _git(repo, *args):
+    subprocess.run(
+        ["git", "-C", str(repo), *args],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.fixture
+def git_tree(tmp_path, monkeypatch):
+    repo = tmp_path / "repo"
+    (repo / "pkg").mkdir(parents=True)
+    (repo / "lone").mkdir()
+    (repo / "pkg" / "util.py").write_text("def helper():\n    return 1\n")
+    (repo / "pkg" / "user.py").write_text(
+        "from pkg.util import helper\n\n\ndef run():\n    return helper()\n"
+    )
+    (repo / "lone" / "other.py").write_text("X = 3\n")
+    _git(repo, "init", "-q")
+    _git(repo, "-c", "user.email=t@t", "-c", "user.name=t", "add", "-A")
+    _git(
+        repo, "-c", "user.email=t@t", "-c", "user.name=t",
+        "commit", "-qm", "init",
+    )
+    monkeypatch.chdir(repo)
+    return repo
+
+
+@needs_git
+def test_changed_clean_tree_selects_nothing(git_tree):
+    assert changed_targets([Path("pkg"), Path("lone")]) == []
+
+
+@needs_git
+def test_changed_includes_dependents(git_tree):
+    util = git_tree / "pkg" / "util.py"
+    util.write_text(util.read_text() + "\n# edit\n")
+    targets = changed_targets([Path("pkg"), Path("lone")])
+    assert sorted(t.as_posix() for t in targets) == [
+        "pkg/user.py",
+        "pkg/util.py",
+    ]
+
+
+@needs_git
+def test_changed_isolated_edit_stays_isolated(git_tree):
+    other = git_tree / "lone" / "other.py"
+    other.write_text(other.read_text() + "Y = 4\n")
+    targets = changed_targets([Path("pkg"), Path("lone")])
+    assert [t.as_posix() for t in targets] == ["lone/other.py"]
+
+
+@needs_git
+def test_changed_deleted_file_still_lints_dependents(git_tree):
+    (git_tree / "pkg" / "util.py").unlink()
+    targets = changed_targets([Path("pkg"), Path("lone")])
+    assert [t.as_posix() for t in targets] == ["pkg/user.py"]
+
+
+@needs_git
+def test_changed_untracked_file_counts(git_tree):
+    (git_tree / "lone" / "fresh.py").write_text("Z = 5\n")
+    targets = changed_targets([Path("pkg"), Path("lone")])
+    assert sorted(t.as_posix() for t in targets) == [
+        "lone/fresh.py",
+        "lone/other.py",
+    ]
+
+
+@needs_git
+def test_changed_outside_git_raises(tmp_path, monkeypatch):
+    outside = tmp_path / "nowhere"
+    outside.mkdir()
+    (outside / "a.py").write_text("A = 1\n")
+    monkeypatch.chdir(outside)
+    with pytest.raises(ChangedError):
+        changed_targets([Path(".")])
+
+
+@needs_git
+def test_cli_changed_lints_only_the_diff(git_tree, capsys):
+    poisoned = git_tree / "lone" / "other.py"
+    poisoned.write_text(UNSEEDED)
+    assert lint_main(["pkg", "lone", "--changed"]) == 1
+    out = capsys.readouterr().out
+    assert "lone/other.py" in out
+    assert "1 file(s)" in out
+
+
+def test_cli_changed_and_incremental_are_mutually_exclusive(tmp_path, capsys):
+    target = tmp_path / "a.py"
+    target.write_text("A = 1\n")
+    code = lint_main([
+        str(target), "--changed", "--incremental", str(tmp_path / "cache"),
+    ])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_incremental_reports_reanalysis_count(tmp_path, capsys):
+    target = tmp_path / "a.py"
+    target.write_text("A = 1\n")
+    cache = tmp_path / "cache"
+    assert lint_main([str(target), "--incremental", str(cache)]) == 0
+    assert "(1 re-analyzed)" in capsys.readouterr().out
+    assert lint_main([str(target), "--incremental", str(cache)]) == 0
+    assert "(0 re-analyzed)" in capsys.readouterr().out

@@ -28,7 +28,7 @@ def test_repro_cli_lint_subcommand(capsys):
     assert "0 error(s)" in capsys.readouterr().out
 
 
-def test_r002_catches_field_added_without_cache_key(tmp_path):
+def test_r008_catches_field_added_without_cache_key(tmp_path):
     """Acceptance criterion: add a config field, forget the key, get flagged."""
     config_source = (SRC_REPRO / "experiments" / "config.py").read_text()
     runner_source = (SRC_REPRO / "experiments" / "runner.py").read_text()
@@ -40,14 +40,14 @@ def test_r002_catches_field_added_without_cache_key(tmp_path):
     )
     (tmp_path / "config.py").write_text(injected)
     (tmp_path / "runner.py").write_text(runner_source)
-    result = run_lint([tmp_path], select=frozenset({"R002"}))
+    result = run_lint([tmp_path], select=frozenset({"R002", "R008"}))
     assert result.exit_code == 1
     assert any(
         "speculative_depth" in finding.message for finding in result.findings
     )
 
 
-def test_r002_passes_when_field_is_keyed(tmp_path):
+def test_r008_passes_when_field_is_keyed(tmp_path):
     """The counterpart: reading the new field in _stream_request clears it."""
     config_source = (SRC_REPRO / "experiments" / "config.py").read_text()
     runner_source = (SRC_REPRO / "experiments" / "runner.py").read_text()
@@ -64,7 +64,7 @@ def test_r002_passes_when_field_is_keyed(tmp_path):
     assert injected_runner != runner_source
     (tmp_path / "config.py").write_text(injected_config)
     (tmp_path / "runner.py").write_text(injected_runner)
-    result = run_lint([tmp_path], select=frozenset({"R002"}))
+    result = run_lint([tmp_path], select=frozenset({"R002", "R008"}))
     assert all(
         "speculative_depth" not in finding.message for finding in result.findings
     )
